@@ -1,0 +1,64 @@
+// Ablation X3 (ours) — MTCMOS sleep-transistor sizing for an 8-bit
+// ripple-carry adder block (paper Section 4: high-VT series switches
+// gating low-VT logic, "assuming proper device sizing").
+//
+// Expectation: the sizing bisection meets each delay-penalty bound;
+// standby leakage drops >= 2 decades vs the unguarded block; tighter
+// bounds need wider footers (and leak slightly more in standby).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuit/generators.hpp"
+#include "opt/dual_vt.hpp"
+#include "util/table.hpp"
+
+int main() {
+  namespace c = lv::circuit;
+  namespace o = lv::opt;
+  lv::bench::banner("Ablation X3", "MTCMOS sleep-transistor sizing");
+
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const auto tech = lv::tech::dual_vt_mtcmos();
+  const double width = o::netlist_nmos_width(nl);
+  const double peak = o::netlist_peak_current(nl, tech, 1.0);
+  std::printf("block: %zu gates, %.0f unit widths of NMOS, peak demand "
+              "%.3g A\n",
+              nl.instance_count(), width, peak);
+
+  lv::util::Table table{{"max_penalty", "sleep_width_mult", "penalty",
+                         "standby_leak_A", "unguarded_leak_A",
+                         "reduction_x"}};
+  table.set_double_format("%.4g");
+
+  bool all_met = true;
+  bool monotone_width = true;
+  double prev_width = 1e18;
+  double reduction_at_5pct = 0.0;
+  for (const double bound : {1.01, 1.02, 1.05, 1.10, 1.25}) {
+    const auto sized =
+        o::size_sleep_transistor(tech, 1.0, width, peak, bound);
+    if (!sized.feasible) {
+      std::printf("bound %.2f: infeasible\n", bound);
+      all_met = false;
+      continue;
+    }
+    const double reduction = sized.unguarded_leakage / sized.standby_leakage;
+    if (bound == 1.05) reduction_at_5pct = reduction;
+    table.add_row({bound, sized.sleep_width_mult, sized.delay_penalty,
+                   sized.standby_leakage, sized.unguarded_leakage,
+                   reduction});
+    all_met &= sized.delay_penalty <= bound + 1e-6;
+    monotone_width &= sized.sleep_width_mult <= prev_width;
+    prev_width = sized.sleep_width_mult;
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  lv::bench::shape_check("every sizing meets its delay-penalty bound",
+                         all_met);
+  lv::bench::shape_check("tighter bounds take wider sleep devices",
+                         monotone_width);
+  lv::bench::shape_check("standby leakage cut >= 2 decades at 5% penalty",
+                         reduction_at_5pct >= 100.0);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation X5 (ours) — architecture-driven voltage scaling (the paper's
+// Section 1 reference [1]): N-way parallelism vs lane supply vs energy
+// per operation at fixed throughput.
+//
+// Expectation: lane V_DD falls with N; energy per op drops steeply from
+// N = 1 and then flattens/rises as mux overhead and N-lane leakage catch
+// up — an interior optimum N.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuit/generators.hpp"
+#include "core/parallel_arch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  lv::bench::banner("Ablation X5", "parallelism vs voltage scaling");
+
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  const auto tech = lv::tech::soi_low_vt();
+  const double rate = 3.5e9;  // stresses the single lane near max supply
+  std::printf("datapath: 8-bit RCA (%zu gates); target %.2g ops/s; mux "
+              "overhead 15%%/lane\n",
+              nl.instance_count(), rate);
+
+  const auto r = lv::core::explore_parallelism(nl, tech, rate, 0.4, 8);
+
+  lv::util::Table table{{"lanes", "vdd_V", "E_per_op_J", "vs_N1_%",
+                         "switching_share", "area_factor"}};
+  table.set_double_format("%.4g");
+  double e1 = 0.0;
+  for (const auto& pt : r.sweep) {
+    if (pt.lanes == 1 && pt.feasible) e1 = pt.energy_per_op;
+    table.add_row({static_cast<long long>(pt.lanes),
+                   pt.feasible ? pt.vdd : -1.0,
+                   pt.feasible ? pt.energy_per_op : -1.0,
+                   pt.feasible && e1 > 0.0
+                       ? 100.0 * (1.0 - pt.energy_per_op / e1)
+                       : 0.0,
+                   pt.feasible ? pt.switching_share : 0.0,
+                   pt.area_factor});
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+  std::printf("optimum: N = %d lanes at %.3f V, %.4g J/op\n", r.best.lanes,
+              r.best.vdd, r.best.energy_per_op);
+
+  lv::bench::shape_check("single lane feasible at the target rate",
+                         r.sweep.front().feasible);
+  lv::bench::shape_check("optimum uses more than one lane",
+                         r.best.feasible && r.best.lanes > 1);
+  lv::bench::shape_check(
+      "parallel optimum saves >= 30% energy over one lane",
+      e1 > 0.0 && r.best.energy_per_op < 0.7 * e1);
+  bool vdd_nonincreasing = true;
+  double prev = 10.0;
+  for (const auto& pt : r.sweep) {
+    if (!pt.feasible) continue;
+    vdd_nonincreasing &= pt.vdd <= prev + 1e-9;
+    prev = pt.vdd;
+  }
+  lv::bench::shape_check("lane supply never rises with lane count",
+                         vdd_nonincreasing);
+  return 0;
+}

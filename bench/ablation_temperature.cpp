@@ -1,0 +1,60 @@
+// Ablation X4 (ours) — temperature sensitivity of the low-voltage design
+// point. Sub-threshold leakage grows exponentially with temperature
+// (I ~ exp(-VT/(n kT/q)) with VT itself falling as T rises), so the
+// energy-optimal threshold of the Fig. 4 experiment must climb with
+// temperature; delay degrades mildly through the same VT/drive shifts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "opt/voltage_opt.hpp"
+#include "tech/process.hpp"
+#include "util/table.hpp"
+
+int main() {
+  lv::bench::banner("Ablation X4", "temperature sensitivity");
+  const lv::timing::RingOscillator ring{101};
+
+  lv::util::Table table{{"temp_K", "ioff_A_per_unit", "ion_A_per_unit",
+                         "stage_delay_ps", "vt_opt_V", "vdd_opt_V",
+                         "E_opt_J"}};
+  table.set_double_format("%.4g");
+
+  bool leak_monotone = true;
+  bool vt_monotone = true;
+  double prev_leak = 0.0;
+  double prev_vt = 0.0;
+  double leak_300 = 0.0;
+  double leak_400 = 0.0;
+  for (const double temp : {300.0, 325.0, 350.0, 375.0, 400.0}) {
+    auto tech = lv::tech::soi_low_vt();
+    tech.temp_k = temp;
+    const auto nmos = tech.make_nmos();
+    const double ioff = nmos.off_current(1.0, 0.0, temp);
+    const double ion = nmos.on_current(1.0, 0.0, temp);
+    const double delay = ring.stage_delay(tech, 1.0, 0.0);
+    const auto opt =
+        lv::opt::optimize_vt(tech, ring, 5e6, 1.0, 0.05, 0.60, 23);
+    table.add_row({temp, ioff, ion, delay * 1e12,
+                   opt.optimum.feasible ? opt.optimum.vt : -1.0,
+                   opt.optimum.feasible ? opt.optimum.vdd : -1.0,
+                   opt.optimum.feasible ? opt.optimum.total_energy : -1.0});
+    leak_monotone &= ioff > prev_leak;
+    prev_leak = ioff;
+    if (opt.optimum.feasible) {
+      vt_monotone &= opt.optimum.vt >= prev_vt - 0.01;
+      prev_vt = opt.optimum.vt;
+    }
+    if (temp == 300.0) leak_300 = ioff;
+    if (temp == 400.0) leak_400 = ioff;
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  lv::bench::shape_check("off-current rises monotonically with temperature",
+                         leak_monotone);
+  lv::bench::shape_check("100 K raises leakage by >= 10x",
+                         leak_400 / leak_300 >= 10.0);
+  lv::bench::shape_check(
+      "energy-optimal VT climbs (or holds) as temperature rises",
+      vt_monotone);
+  return 0;
+}

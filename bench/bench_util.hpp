@@ -1,0 +1,21 @@
+// Shared header/footer formatting for the figure/table regeneration
+// binaries so `bench_output.txt` is uniform and greppable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace lv::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: Chandrakasan et al., DAC 1996\n");
+  std::printf("==================================================\n");
+}
+
+inline void shape_check(const std::string& description, bool ok) {
+  std::printf("[shape %s] %s\n", ok ? "OK  " : "FAIL", description.c_str());
+}
+
+}  // namespace lv::bench

@@ -1,0 +1,68 @@
+// Fig. 1 — Non-linear dependence of switched capacitance on V_DD for
+// three register styles (C2MOS, TSPC "TSPCR", latch-based "LCLR").
+//
+// Paper shape: all three curves rise with V_DD (gate capacitance grows as
+// more of the swing sits in inversion); the style ordering is constant;
+// the scale is tens of femtofarads.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "circuit/cells.hpp"
+#include "power/estimator.hpp"
+#include "tech/process.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using lv::circuit::CellKind;
+  namespace u = lv::util;
+
+  lv::bench::banner("Fig. 1", "switched capacitance vs V_DD, 3 registers");
+  const auto tech = lv::tech::bulk_cmos_06um();
+
+  const struct {
+    CellKind style;
+    const char* name;
+  } styles[] = {{CellKind::dff_lclr, "LCLR"},
+                {CellKind::dff_tspc, "TSPCR"},
+                {CellKind::dff_c2mos, "C2MOS"}};
+
+  u::Table table{{"vdd_V", "LCLR_fF", "TSPCR_fF", "C2MOS_fF"}};
+  table.set_double_format("%.3f");
+  std::vector<u::Series> series(3);
+  for (int i = 0; i < 3; ++i) series[static_cast<std::size_t>(i)].name = styles[i].name;
+
+  bool all_monotone = true;
+  double prev[3] = {0.0, 0.0, 0.0};
+  for (const double vdd : u::linspace(1.0, 3.0, 11)) {
+    std::vector<u::Table::Cell> row{vdd};
+    for (int i = 0; i < 3; ++i) {
+      const double cap =
+          lv::power::register_switched_cap(styles[i].style, tech, vdd) /
+          u::femto;
+      row.push_back(cap);
+      series[static_cast<std::size_t>(i)].xs.push_back(vdd);
+      series[static_cast<std::size_t>(i)].ys.push_back(cap);
+      all_monotone &= cap > prev[i];
+      prev[i] = cap;
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  u::PlotOptions opt;
+  opt.title = "switched capacitance [fF] vs V_DD [V]";
+  opt.x_label = "V_DD [V]";
+  opt.y_label = "C_sw [fF]";
+  std::printf("%s\n", lv::util::render_xy(series, opt).c_str());
+
+  lv::bench::shape_check("C_sw rises monotonically with V_DD (all styles)",
+                         all_monotone);
+  lv::bench::shape_check("style ordering C2MOS > TSPCR > LCLR at 2 V",
+                         prev[2] > prev[1] && prev[1] > prev[0]);
+  lv::bench::shape_check("femtofarad scale (1..200 fF)",
+                         prev[0] > 1.0 && prev[2] < 200.0);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 3 — Experimental V_DD vs V_T at fixed delay (ring oscillator).
+//
+// Paper shape: for each fixed ring-oscillator delay, the supply required
+// rises monotonically with the threshold; at reduced V_T the same
+// performance is reached well below 1 V. Faster delay targets sit on
+// higher curves.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "opt/voltage_opt.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+int main() {
+  namespace u = lv::util;
+  lv::bench::banner("Fig. 3", "iso-delay V_DD vs V_T (ring oscillator)");
+
+  const auto tech = lv::tech::soi_low_vt();
+  const lv::timing::RingOscillator ring{101};
+  // Three fixed stage delays (the paper annotates three ring speeds).
+  const double targets_ps[] = {60.0, 120.0, 240.0};
+
+  u::Table table{{"vt_V", "vdd@60ps", "vdd@120ps", "vdd@240ps"}};
+  table.set_double_format("%.4f");
+  std::vector<u::Series> series;
+  for (const double t : targets_ps)
+    series.push_back(u::Series{"tpd=" + std::to_string(static_cast<int>(t)) +
+                                   "ps",
+                               {},
+                               {}});
+
+  bool monotone = true;
+  bool faster_higher = true;
+  double prev[3] = {0.0, 0.0, 0.0};
+  for (const double vt : u::linspace(0.05, 0.50, 19)) {
+    std::vector<u::Table::Cell> row{vt};
+    double row_vdd[3] = {0.0, 0.0, 0.0};
+    for (int k = 0; k < 3; ++k) {
+      const auto vdd =
+          lv::opt::iso_delay_vdd(tech, ring, vt, targets_ps[k] * 1e-12);
+      const double v = vdd.value_or(-1.0);
+      row.push_back(v);
+      row_vdd[k] = v;
+      if (v > 0.0) {
+        series[static_cast<std::size_t>(k)].xs.push_back(vt);
+        series[static_cast<std::size_t>(k)].ys.push_back(v);
+        monotone &= v >= prev[k];
+        prev[k] = v;
+      }
+    }
+    faster_higher &= !(row_vdd[0] > 0 && row_vdd[2] > 0) ||
+                     row_vdd[0] >= row_vdd[2];
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  u::PlotOptions opt;
+  opt.title = "V_DD [V] vs V_T [V] at fixed delay";
+  opt.x_label = "V_T [V]";
+  opt.y_label = "V_DD [V]";
+  std::printf("%s\n", u::render_xy(series, opt).c_str());
+
+  lv::bench::shape_check("V_DD rises monotonically with V_T on each curve",
+                         monotone);
+  lv::bench::shape_check("faster delay target needs the higher supply",
+                         faster_higher);
+  const auto vdd_low = lv::opt::iso_delay_vdd(tech, ring, 0.15, 240e-12);
+  lv::bench::shape_check("sub-1V supply at reduced V_T (0.15 V, 240 ps)",
+                         vdd_low.has_value() && *vdd_low < 1.0);
+  return 0;
+}

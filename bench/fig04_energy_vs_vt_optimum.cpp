@@ -1,0 +1,81 @@
+// Fig. 4 — Experimentally derived optimum V_DD / V_T point: energy per
+// cycle vs V_T at fixed throughput, for two ring-oscillator speeds
+// (1 MHz and 0.8 MHz, as in the paper's annotation).
+//
+// Paper shape: U-shaped curves — reducing V_T lets V_DD (and switching
+// energy) drop until sub-threshold leakage takes over; the optimum supply
+// is "significantly lower than 1 V"; quieter circuits (lower activity)
+// move the optimum toward higher V_T.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "opt/voltage_opt.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+int main() {
+  namespace u = lv::util;
+  namespace o = lv::opt;
+  lv::bench::banner("Fig. 4", "energy vs V_T at fixed throughput");
+
+  const auto tech = lv::tech::soi_low_vt();
+  const lv::timing::RingOscillator ring{101};
+  const double f_hi = 1.0e6;
+  const double f_lo = 0.8e6;
+
+  const auto sweep_hi = o::optimize_vt(tech, ring, f_hi, 1.0, 0.05, 0.55, 26);
+  const auto sweep_lo = o::optimize_vt(tech, ring, f_lo, 1.0, 0.05, 0.55, 26);
+
+  u::Table table{{"vt_V", "vdd@1MHz", "E@1MHz_J", "vdd@0.8MHz", "E@0.8MHz_J"}};
+  table.set_double_format("%.4g");
+  u::Series s_hi{"1 MHz", {}, {}};
+  u::Series s_lo{"0.8 MHz", {}, {}};
+  for (std::size_t i = 0; i < sweep_hi.sweep.size(); ++i) {
+    const auto& a = sweep_hi.sweep[i];
+    const auto& b = sweep_lo.sweep[i];
+    table.add_row({a.vt, a.feasible ? a.vdd : -1.0,
+                   a.feasible ? a.total_energy : -1.0,
+                   b.feasible ? b.vdd : -1.0,
+                   b.feasible ? b.total_energy : -1.0});
+    if (a.feasible) {
+      s_hi.xs.push_back(a.vt);
+      s_hi.ys.push_back(a.total_energy);
+    }
+    if (b.feasible) {
+      s_lo.xs.push_back(b.vt);
+      s_lo.ys.push_back(b.total_energy);
+    }
+  }
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  u::PlotOptions opt;
+  opt.log_y = true;
+  opt.title = "energy/cycle [J] (log) vs V_T [V]";
+  opt.x_label = "V_T [V]";
+  opt.y_label = "E [J]";
+  std::printf("%s\n", u::render_xy({s_hi, s_lo}, opt).c_str());
+
+  const auto& best_hi = sweep_hi.optimum;
+  const auto& best_lo = sweep_lo.optimum;
+  std::printf("optimum @1.0MHz: VT = %.3f V, VDD = %.3f V, E = %.4g J\n",
+              best_hi.vt, best_hi.vdd, best_hi.total_energy);
+  std::printf("optimum @0.8MHz: VT = %.3f V, VDD = %.3f V, E = %.4g J\n",
+              best_lo.vt, best_lo.vdd, best_lo.total_energy);
+
+  lv::bench::shape_check(
+      "interior optimum (U-shape) at 1 MHz",
+      best_hi.feasible &&
+          sweep_hi.sweep.front().total_energy > best_hi.total_energy &&
+          sweep_hi.sweep.back().total_energy > best_hi.total_energy);
+  lv::bench::shape_check("optimum supply significantly below 1 V",
+                         best_hi.vdd < 1.0 && best_lo.vdd < 1.0);
+
+  // Low-activity corollary from Section 3.
+  const auto quiet = o::optimize_vt(tech, ring, f_hi, 0.02, 0.05, 0.55, 26);
+  std::printf("optimum VT at activity 1.0: %.3f V; at activity 0.02: %.3f V\n",
+              best_hi.vt, quiet.optimum.vt);
+  lv::bench::shape_check("low switching activity pushes optimum VT higher",
+                         quiet.optimum.vt > best_hi.vt);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// P2 — analysis-engine throughput: power estimation, STA, the iso-delay
+// solver, and dual-VT assignment (google-benchmark; informational).
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.hpp"
+#include "opt/dual_vt.hpp"
+#include "opt/voltage_opt.hpp"
+#include "power/estimator.hpp"
+#include "timing/sta.hpp"
+
+namespace {
+
+void BM_PowerEstimateUniform(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_array_multiplier(nl, 8);
+  const lv::power::PowerEstimator est{nl, lv::tech::soi_low_vt(), {}};
+  for (auto _ : state) {
+    const auto br = est.estimate_uniform(0.3);
+    benchmark::DoNotOptimize(br.switching);
+  }
+  state.counters["gates"] = static_cast<double>(nl.instance_count());
+}
+BENCHMARK(BM_PowerEstimateUniform);
+
+void BM_StaRun(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_carry_lookahead_adder(
+      nl, static_cast<int>(state.range(0)));
+  const lv::timing::Sta sta{nl, lv::tech::soi_low_vt(), 1.0};
+  for (auto _ : state) {
+    const auto r = sta.run(1e-9);
+    benchmark::DoNotOptimize(r.critical_delay);
+  }
+  state.counters["gates"] = static_cast<double>(nl.instance_count());
+}
+BENCHMARK(BM_StaRun)->Arg(16)->Arg(32);
+
+void BM_IsoDelaySolve(benchmark::State& state) {
+  const auto tech = lv::tech::soi_low_vt();
+  const lv::timing::RingOscillator ring{101};
+  double vt = 0.1;
+  for (auto _ : state) {
+    const auto vdd = lv::opt::iso_delay_vdd(tech, ring, vt, 120e-12);
+    benchmark::DoNotOptimize(vdd);
+    vt = vt > 0.45 ? 0.1 : vt + 0.01;
+  }
+}
+BENCHMARK(BM_IsoDelaySolve);
+
+void BM_DualVtAssign(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  const auto tech = lv::tech::dual_vt_mtcmos();
+  for (auto _ : state) {
+    const auto r = lv::opt::assign_dual_vt(nl, tech, 1.0, 0.05);
+    benchmark::DoNotOptimize(r.high_vt_count);
+  }
+  state.counters["gates"] = static_cast<double>(nl.instance_count());
+}
+BENCHMARK(BM_DualVtAssign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// P1 — engine throughput: event-driven logic simulation and the LVR32
+// instruction-set simulator (google-benchmark; informational).
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.hpp"
+#include "isa/assembler.hpp"
+#include "isa/machine.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "workloads/idea.hpp"
+
+namespace {
+
+void BM_AdderSimulation(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  lv::circuit::Netlist nl;
+  const auto ports = lv::circuit::build_ripple_carry_adder(nl, width);
+  lv::sim::Simulator sim{nl};
+  const auto a = lv::sim::random_vectors(256, width, 1);
+  const auto b = lv::sim::random_vectors(256, width, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sim.set_bus(ports.a, a[i & 255]);
+    sim.set_bus(ports.b, b[i & 255]);
+    sim.settle();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["gates"] = static_cast<double>(nl.instance_count());
+}
+BENCHMARK(BM_AdderSimulation)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_MultiplierSimulation(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  lv::circuit::Netlist nl;
+  const auto ports = lv::circuit::build_array_multiplier(nl, width);
+  lv::sim::Simulator sim{nl};
+  const auto a = lv::sim::random_vectors(256, width, 3);
+  const auto b = lv::sim::random_vectors(256, width, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sim.set_bus(ports.a, a[i & 255]);
+    sim.set_bus(ports.b, b[i & 255]);
+    sim.settle();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["gates"] = static_cast<double>(nl.instance_count());
+}
+BENCHMARK(BM_MultiplierSimulation)->Arg(4)->Arg(8);
+
+void BM_MachineIdeaBlock(benchmark::State& state) {
+  const auto workload = lv::workloads::idea_workload(1);
+  const auto prog = lv::isa::assemble(workload.source);
+  for (auto _ : state) {
+    lv::isa::Machine m;
+    m.load(prog.words);
+    const auto retired = m.run();
+    benchmark::DoNotOptimize(retired);
+    state.counters["instructions"] = static_cast<double>(retired);
+  }
+}
+BENCHMARK(BM_MachineIdeaBlock);
+
+void BM_Assembler(benchmark::State& state) {
+  const auto workload = lv::workloads::idea_workload(16);
+  for (auto _ : state) {
+    const auto prog = lv::isa::assemble(workload.source);
+    benchmark::DoNotOptimize(prog.words.data());
+  }
+}
+BENCHMARK(BM_Assembler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

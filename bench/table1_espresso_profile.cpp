@@ -1,0 +1,23 @@
+// Table 1 — Profiling results for the espresso-like kernel (the paper
+// profiles SPEC espresso with Pixie/ATOM).
+//
+// Paper shape: adder dominates (loop/address arithmetic), shifts are a
+// substantial secondary component (bit-vector cube operations), and
+// multiplications are rare but nonzero.
+#include "table_common.hpp"
+#include "workloads/kernels.hpp"
+
+int main() {
+  lv::bench::banner("Table 1", "profiling results, espresso-like kernel");
+  const auto run =
+      lv::bench::run_profile_table(lv::workloads::espresso_workload(96));
+  lv::bench::shape_check("adder fga dominates (> shifts > muls)",
+                         run.adder.fga > run.shifter.fga &&
+                             run.shifter.fga > run.multiplier.fga);
+  lv::bench::shape_check("shift activity substantial (fga > 0.10)",
+                         run.shifter.fga > 0.10);
+  lv::bench::shape_check("multiplications rare but nonzero (fga < 0.05)",
+                         run.multiplier.uses > 0 &&
+                             run.multiplier.fga < 0.05);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Table 2 — Profiling results for the li-like kernel (the paper profiles
+// SPEC li, the Lisp interpreter).
+//
+// Paper shape: list workloads are adder/load/store dominated with very
+// little shifter and near-zero multiplier activity.
+#include "table_common.hpp"
+#include "workloads/kernels.hpp"
+
+int main() {
+  lv::bench::banner("Table 2", "profiling results, li-like kernel");
+  const auto run =
+      lv::bench::run_profile_table(lv::workloads::li_workload(256));
+  lv::bench::shape_check("adder dominated (fga > 0.4)", run.adder.fga > 0.4);
+  lv::bench::shape_check("almost no shifter use (fga < 0.05)",
+                         run.shifter.fga < 0.05);
+  lv::bench::shape_check("essentially no multiplies (fga < 0.01)",
+                         run.multiplier.fga < 0.01);
+  return 0;
+}

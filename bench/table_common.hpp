@@ -1,0 +1,56 @@
+// Shared driver for the Tables 1-3 profiling benches: runs a workload on
+// the LVR32 machine under the ATOM-style profiler and prints the
+// paper-format table (total instructions; additions, shifts,
+// multiplications with fga and bga).
+#pragma once
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "profile/profiler.hpp"
+#include "util/table.hpp"
+#include "workloads/workload.hpp"
+
+namespace lv::bench {
+
+struct TableRun {
+  profile::UnitProfile adder;
+  profile::UnitProfile shifter;
+  profile::UnitProfile multiplier;
+  std::uint64_t total = 0;
+};
+
+inline TableRun run_profile_table(const workloads::Workload& workload,
+                                  std::uint64_t gap_tolerance = 0) {
+  profile::ActivityProfiler profiler{profile::UnitMap::standard(),
+                                     gap_tolerance};
+  const auto result = workloads::run_workload(workload, {&profiler});
+  std::printf("workload '%s': %llu instructions, output %s\n",
+              workload.name.c_str(),
+              static_cast<unsigned long long>(result.instructions),
+              result.verified ? "VERIFIED against C++ reference" : "MISMATCH");
+
+  util::Table table{{"row", "count", "fga", "bga"}};
+  table.set_double_format("%.6f");
+  table.add_row({std::string{"Total Instructions"},
+                 static_cast<long long>(profiler.total_instructions()), 1.0,
+                 0.0});
+  const auto add = profiler.profile(profile::FunctionalUnit::alu_adder);
+  const auto shift = profiler.profile(profile::FunctionalUnit::shifter);
+  const auto mul = profiler.profile(profile::FunctionalUnit::multiplier);
+  table.add_row({std::string{"Additions (ALU adder)"},
+                 static_cast<long long>(add.uses), add.fga, add.bga});
+  table.add_row({std::string{"Shifts"}, static_cast<long long>(shift.uses),
+                 shift.fga, shift.bga});
+  table.add_row({std::string{"Multiplications"},
+                 static_cast<long long>(mul.uses), mul.fga, mul.bga});
+  std::printf("%s\n", table.to_ascii().c_str());
+
+  shape_check("workload output verified", result.verified);
+  shape_check("bga <= fga for every unit",
+              add.bga <= add.fga + 1e-12 && shift.bga <= shift.fga + 1e-12 &&
+                  mul.bga <= mul.fga + 1e-12);
+  return TableRun{add, shift, mul, profiler.total_instructions()};
+}
+
+}  // namespace lv::bench

@@ -1,0 +1,84 @@
+// Event-driven computation (paper Section 4-5): an X-server-style bursty
+// system, four threshold-control technologies, and four shutdown policies.
+//
+// The flow:
+//  1. synthesize a 16-bit adder block and extract its electrical module
+//     model in the SOIAS process (front cap, back-gate cap, low/high-VT
+//     leakage);
+//  2. generate a bursty event trace (~2% duty, like the paper's X-server
+//     sessions);
+//  3. compare per-cycle energy models (Eqs. 3-4 + MTCMOS + body bias) at
+//     the trace's implied activity variables;
+//  4. simulate shutdown policies (always-on / timeout / predictive /
+//     oracle) cycle-by-cycle over the trace.
+#include <cstdio>
+
+#include "circuit/generators.hpp"
+#include "core/comparison.hpp"
+#include "core/event_system.hpp"
+#include "util/table.hpp"
+
+int main() {
+  namespace c = lv::core;
+
+  // 1. Module model.
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 16);
+  const auto tech = lv::tech::soias();
+  const auto module = c::module_params_from_netlist(nl, tech, 1.0, "adder");
+  std::printf("module '%s': C_fg %.3g F, C_bg %.3g F, I_leak %0.3g A (low VT)"
+              " / %.3g A (high VT)\n\n",
+              module.name.c_str(), module.c_fg, module.c_bg,
+              module.i_leak_low, module.i_leak_high);
+
+  // 2. Trace.
+  const auto trace = c::xserver_trace(400, 0x5e);
+  std::printf("X-server trace: %llu cycles, duty %.1f%% (paper: processor "
+              "off >95%% of the time)\n\n",
+              static_cast<unsigned long long>(trace.total_cycles()),
+              trace.duty() * 100.0);
+
+  // 3. Technology comparison at the trace's activity variables.
+  const c::BurstOperatingPoint op{1.0, tech.backgate_swing, 50e6, 0.8};
+  c::ActivityVars act;
+  act.fga = trace.duty();
+  // One sleep/wake pair per burst: bga = 2 * bursts / cycles.
+  act.bga = static_cast<double>(trace.runs.size()) /
+            static_cast<double>(trace.total_cycles());
+  act.alpha = 0.4;
+  std::printf("activity variables: fga = %.4f, bga = %.6f, alpha = %.2f\n",
+              act.fga, act.bga, act.alpha);
+
+  lv::util::Table techs{{"technology", "E_per_cycle_J", "vs_SOI_%"}};
+  techs.set_double_format("%.4g");
+  const double e_soi = c::energy_soi(module, act, op);
+  techs.add_row({std::string{"SOI fixed low-VT (Eq. 3)"}, e_soi, 0.0});
+  const double e_soias = c::energy_soias(module, act, op);
+  techs.add_row({std::string{"SOIAS back gate (Eq. 4)"}, e_soias,
+                 100.0 * (1.0 - e_soias / e_soi)});
+  const double e_mt = c::energy_mtcmos(module, act, op);
+  techs.add_row({std::string{"MTCMOS sleep device"}, e_mt,
+                 100.0 * (1.0 - e_mt / e_soi)});
+  const double e_bb = c::energy_body_bias(module, act, op);
+  techs.add_row({std::string{"bulk body bias (80% pump)"}, e_bb,
+                 100.0 * (1.0 - e_bb / e_soi)});
+  std::printf("%s\n", techs.to_ascii().c_str());
+
+  // 4. Shutdown policies over the actual trace.
+  const auto results = c::evaluate_standard_policies(trace, module, act.alpha,
+                                                     op);
+  lv::util::Table policies{{"policy", "energy_J", "savings_%",
+                            "sleep_entries", "stall_cycles"}};
+  policies.set_double_format("%.4g");
+  const double e_on = results.front().energy;
+  for (const auto& r : results)
+    policies.add_row({r.policy, r.energy, 100.0 * (1.0 - r.energy / e_on),
+                      static_cast<long long>(r.transitions),
+                      static_cast<long long>(r.stall_cycles)});
+  std::printf("%s\n", policies.to_ascii().c_str());
+
+  std::printf("takeaway: for event-driven loads the variable-threshold\n"
+              "technologies recover nearly all idle leakage; policy choice\n"
+              "decides how close to the oracle you get.\n");
+  return 0;
+}

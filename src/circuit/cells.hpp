@@ -1,0 +1,88 @@
+// Standard-cell catalog.
+//
+// Each cell records, besides its logic function, the physical quantities
+// the power and timing engines need, expressed in *unit-device multiples*
+// so any Process can instantiate the library:
+//   * per-input gate width (input capacitance),
+//   * output drive strength (saturation-current multiple of a unit
+//     inverter),
+//   * total NMOS / PMOS width (leakage) and the series-stack height of
+//     each network (stack-effect derating),
+//   * an intrinsic (self-load) capacitance multiple.
+//
+// The three flip-flop variants model the registers of the paper's Fig. 1:
+// C2MOS (clocked-CMOS, heaviest clock/internal load), TSPC (true single-
+// phase clock), and LCLR (light latch-based register, the smallest) —
+// their differing input/internal capacitance is what makes the three
+// switched-capacitance curves of Fig. 1 distinct.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "circuit/logic.hpp"
+
+namespace lv::circuit {
+
+enum class CellKind : std::uint8_t {
+  inv,
+  buf,
+  nand2,
+  nand3,
+  nand4,
+  nor2,
+  nor3,
+  nor4,
+  and2,
+  or2,
+  xor2,
+  xnor2,
+  aoi21,  // !(a*b + c)
+  oai21,  // !((a+b) * c)
+  mux2,   // s ? b : a   (inputs: a, b, s)
+  tie0,
+  tie1,
+  dff,        // generic positive-edge D flip-flop (inputs: d, clk)
+  dff_c2mos,  // clocked-CMOS register (Fig. 1 "C2MOS")
+  dff_tspc,   // true single-phase-clock register (Fig. 1 "TSPCR")
+  dff_lclr,   // light latch-based register (Fig. 1 "LCLR")
+  kind_count
+};
+
+struct CellInfo {
+  std::string_view name;
+  int input_count = 0;
+  bool sequential = false;
+  // Gate width seen at each input pin, in unit-inverter input multiples.
+  double pin_gate_mult = 1.0;
+  // Output drive strength (unit-inverter multiples).
+  double drive_mult = 1.0;
+  // Total device widths for leakage (unit widths).
+  double n_width_total = 1.0;
+  double p_width_total = 1.0;
+  // Series-stack heights of the pull networks (>= 1).
+  int n_stack = 1;
+  int p_stack = 1;
+  // Output self-load (junction + internal nodes), unit-inverter parasitic
+  // multiples.
+  double intrinsic_cap_mult = 1.0;
+  // For sequential cells: internal capacitance switched per *clock* cycle
+  // regardless of data activity (clock buffers, master node), as a
+  // unit-inverter input-cap multiple. Zero for combinational cells.
+  double clock_cap_mult = 0.0;
+};
+
+// Catalog lookup; valid for every kind < kind_count.
+const CellInfo& cell_info(CellKind kind);
+
+// Parses the name used in netlist files ("NAND2", "dff_tspc", ...);
+// returns kind_count when unknown. Case-insensitive.
+CellKind cell_kind_from_name(std::string_view name);
+
+// Combinational evaluation. `inputs.size()` must equal input_count.
+// Sequential cells must not be evaluated through this path (the simulator
+// owns their state); calling it for one throws lv::util::Error.
+Logic evaluate_cell(CellKind kind, std::span<const Logic> inputs);
+
+}  // namespace lv::circuit

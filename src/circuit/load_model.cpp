@@ -1,0 +1,85 @@
+#include "circuit/load_model.hpp"
+
+#include "device/capacitance.hpp"
+#include "util/error.hpp"
+
+namespace lv::circuit {
+
+LoadModel::LoadModel(const Netlist& netlist, const tech::Process& process,
+                     double vdd)
+    : LoadModel{netlist, process, vdd,
+                std::vector<double>(netlist.instance_count(), 1.0)} {}
+
+LoadModel::LoadModel(const Netlist& netlist, const tech::Process& process,
+                     double vdd, const std::vector<double>& instance_sizes)
+    : netlist_{netlist}, process_{process}, vdd_{vdd} {
+  lv::util::require(vdd > 0.0, "LoadModel: vdd must be > 0");
+  lv::util::require(instance_sizes.size() == netlist.instance_count(),
+                    "LoadModel: instance_sizes count mismatch");
+
+  const device::CapacitanceModel ncap = process.nmos_caps(1.0);
+  const device::CapacitanceModel pcap = process.pmos_caps(1.0);
+  unit_input_cap_ =
+      ncap.input_cap_effective(vdd) + pcap.input_cap_effective(vdd);
+  unit_parasitic_cap_ = ncap.drive_parasitic_effective(vdd) +
+                        pcap.drive_parasitic_effective(vdd);
+
+  loads_.assign(netlist.net_count(), 0.0);
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    double cap = 0.0;
+    // Receiver pins (scaled by each receiver's size).
+    for (const InstanceId consumer : netlist.fanout(n)) {
+      const CellInfo& info = cell_info(netlist.instance(consumer).kind);
+      cap += info.pin_gate_mult * unit_input_cap_ * instance_sizes[consumer];
+    }
+    // Driver parasitics (scaled by the driver's size).
+    const Net& net = netlist.net(n);
+    if (net.driver != ~InstanceId{0}) {
+      const CellInfo& info = cell_info(netlist.instance(net.driver).kind);
+      cap += info.drive_mult * info.intrinsic_cap_mult *
+             unit_parasitic_cap_ * instance_sizes[net.driver];
+    }
+    // Wire estimate: one average segment per fanout pin.
+    cap += process.wire_cap_per_m * process.avg_wire_per_fanout *
+           static_cast<double>(netlist.fanout(n).size());
+    loads_[n] = cap;
+  }
+}
+
+double LoadModel::total_cap() const {
+  double total = 0.0;
+  for (const double c : loads_) total += c;
+  return total;
+}
+
+double LoadModel::module_cap(const std::string& module) const {
+  double total = 0.0;
+  for (NetId n = 0; n < netlist_.net_count(); ++n) {
+    const Net& net = netlist_.net(n);
+    if (net.driver == ~InstanceId{0}) continue;
+    if (netlist_.instance(net.driver).module == module) total += loads_[n];
+  }
+  return total;
+}
+
+double LoadModel::clock_cap(const std::string& module) const {
+  double total = 0.0;
+  for (const InstanceId i : netlist_.sequential_instances()) {
+    const Instance& inst = netlist_.instance(i);
+    if (!module.empty() && inst.module != module) continue;
+    total += cell_info(inst.kind).clock_cap_mult * unit_input_cap_;
+  }
+  // Clock routing: one wire segment per flop pin.
+  if (netlist_.clock_net() != kInvalidNet) {
+    std::size_t pins = 0;
+    for (const InstanceId i : netlist_.sequential_instances()) {
+      const Instance& inst = netlist_.instance(i);
+      if (module.empty() || inst.module == module) ++pins;
+    }
+    total += process_.wire_cap_per_m * process_.avg_wire_per_fanout *
+             static_cast<double>(pins);
+  }
+  return total;
+}
+
+}  // namespace lv::circuit

@@ -1,0 +1,63 @@
+// Capacitive load extraction: maps every net of a netlist to the effective
+// capacitance switched when it toggles at a given supply. This is where
+// the paper's Fig. 1 message lands in the tool flow — the load is
+// *voltage-dependent* (gate caps rise with V_DD, junction caps fall), so a
+// LoadModel is built per operating voltage.
+//
+// Net load = sum over fanout pins of (pin_gate_mult x unit gate input cap)
+//          + driver parasitic (junction + overlap, scaled by drive and
+//            intrinsic multiples)
+//          + estimated wire capacitance (length per fanout x C_wire).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "tech/process.hpp"
+
+namespace lv::circuit {
+
+class LoadModel {
+ public:
+  LoadModel(const Netlist& netlist, const tech::Process& process, double vdd);
+
+  // Sized variant: `instance_sizes[i]` scales instance i's devices (gate
+  // input caps and drive parasitics alike). Must have instance_count
+  // entries; 1.0 = catalog size. Used by the gate-sizing optimizer.
+  LoadModel(const Netlist& netlist, const tech::Process& process, double vdd,
+            const std::vector<double>& instance_sizes);
+
+  double vdd() const { return vdd_; }
+
+  // Effective switched capacitance of one net [F].
+  double net_load(NetId net) const { return loads_.at(net); }
+
+  // Sum over all nets [F] — the total capacitance a uniform-activity
+  // estimate multiplies by alpha.
+  double total_cap() const;
+
+  // Sum over nets whose driving instance belongs to `module` [F].
+  double module_cap(const std::string& module) const;
+
+  // Unit-inverter input capacitance at this supply [F] (NMOS + PMOS gate).
+  double unit_input_cap() const { return unit_input_cap_; }
+  // Unit-inverter output parasitic at this supply [F].
+  double unit_parasitic_cap() const { return unit_parasitic_cap_; }
+
+  // Clock capacitance switched every enabled cycle by sequential cells of
+  // `module` ("" = whole netlist) [F]: sum of clock_cap_mult x unit input
+  // cap, plus the clock net routing.
+  double clock_cap(const std::string& module = "") const;
+
+ private:
+  const Netlist& netlist_;
+  // Stored by value: Process is a small parameter bundle and callers often
+  // pass factory temporaries (tech::soi_low_vt()).
+  tech::Process process_;
+  double vdd_;
+  double unit_input_cap_ = 0.0;
+  double unit_parasitic_cap_ = 0.0;
+  std::vector<double> loads_;
+};
+
+}  // namespace lv::circuit

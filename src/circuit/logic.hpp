@@ -1,0 +1,54 @@
+// Three-valued logic (0 / 1 / X) used by the gate-level simulator.
+// X models unknown state (uninitialized flops, un-driven nets); it
+// propagates pessimistically through every operator except where a
+// controlling value decides the output (0 AND X = 0, 1 OR X = 1).
+#pragma once
+
+#include <cstdint>
+
+namespace lv::circuit {
+
+enum class Logic : std::uint8_t { zero = 0, one = 1, x = 2 };
+
+constexpr Logic logic_not(Logic a) {
+  if (a == Logic::zero) return Logic::one;
+  if (a == Logic::one) return Logic::zero;
+  return Logic::x;
+}
+
+constexpr Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::zero || b == Logic::zero) return Logic::zero;
+  if (a == Logic::one && b == Logic::one) return Logic::one;
+  return Logic::x;
+}
+
+constexpr Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::one || b == Logic::one) return Logic::one;
+  if (a == Logic::zero && b == Logic::zero) return Logic::zero;
+  return Logic::x;
+}
+
+constexpr Logic logic_xor(Logic a, Logic b) {
+  if (a == Logic::x || b == Logic::x) return Logic::x;
+  return a == b ? Logic::zero : Logic::one;
+}
+
+// s ? b : a with X-propagation: when the select is X the output is X
+// unless both data inputs agree.
+constexpr Logic logic_mux(Logic a, Logic b, Logic s) {
+  if (s == Logic::zero) return a;
+  if (s == Logic::one) return b;
+  return a == b ? a : Logic::x;
+}
+
+constexpr bool is_known(Logic a) { return a != Logic::x; }
+
+constexpr char to_char(Logic a) {
+  if (a == Logic::zero) return '0';
+  if (a == Logic::one) return '1';
+  return 'X';
+}
+
+constexpr Logic from_bool(bool b) { return b ? Logic::one : Logic::zero; }
+
+}  // namespace lv::circuit

@@ -1,0 +1,188 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace lv::circuit {
+
+namespace u = lv::util;
+
+NetId Netlist::add_net(const std::string& name) {
+  u::require(!name.empty(), "Netlist: net name must not be empty");
+  u::require(net_by_name_.find(name) == net_by_name_.end(),
+             "Netlist: duplicate net name '" + name + "'");
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(Net{name, false, false, false, ~InstanceId{0}});
+  net_by_name_.emplace(name, id);
+  invalidate_caches();
+  return id;
+}
+
+NetId Netlist::add_input(const std::string& name) {
+  const NetId id = add_net(name);
+  nets_[id].is_primary_input = true;
+  inputs_.push_back(id);
+  return id;
+}
+
+NetId Netlist::add_clock(const std::string& name) {
+  u::require(clock_ == kInvalidNet, "Netlist: clock already defined");
+  const NetId id = add_net(name);
+  nets_[id].is_clock = true;
+  clock_ = id;
+  return id;
+}
+
+void Netlist::mark_output(NetId net) {
+  nets_.at(net).is_primary_output = true;
+  outputs_.push_back(net);
+}
+
+NetId Netlist::add_gate(CellKind kind, const std::string& name,
+                        const std::vector<NetId>& inputs,
+                        const std::string& module) {
+  const NetId out = add_net(name + "_o");
+  return add_gate_onto(kind, name, inputs, out, module);
+}
+
+NetId Netlist::add_gate_onto(CellKind kind, const std::string& name,
+                             const std::vector<NetId>& inputs, NetId out,
+                             const std::string& module) {
+  const CellInfo& info = cell_info(kind);
+  u::require(inputs.size() == static_cast<std::size_t>(info.input_count),
+             "Netlist: gate '" + name + "' (" + std::string(info.name) +
+                 ") has wrong input count");
+  for (const NetId in : inputs)
+    u::require(in < nets_.size(), "Netlist: gate input net out of range");
+  u::require(out < nets_.size(), "Netlist: gate output net out of range");
+  u::require(nets_[out].driver == ~InstanceId{0} && !nets_[out].is_primary_input,
+             "Netlist: net '" + nets_[out].name + "' already driven");
+  const InstanceId id = static_cast<InstanceId>(instances_.size());
+  instances_.push_back(Instance{name, kind, inputs, out, module});
+  nets_[out].driver = id;
+  invalidate_caches();
+  return out;
+}
+
+NetId Netlist::find_net(const std::string& name) const {
+  const auto it = net_by_name_.find(name);
+  return it == net_by_name_.end() ? kInvalidNet : it->second;
+}
+
+void Netlist::build_caches() const {
+  fanout_cache_.assign(nets_.size(), {});
+  for (InstanceId i = 0; i < instances_.size(); ++i)
+    for (const NetId in : instances_[i].inputs)
+      fanout_cache_[in].push_back(i);
+
+  // Kahn topological sort over combinational instances only. Sequential
+  // outputs behave as sources; sequential inputs as sinks.
+  std::vector<int> pending(instances_.size(), 0);
+  for (InstanceId i = 0; i < instances_.size(); ++i) {
+    const Instance& inst = instances_[i];
+    if (cell_info(inst.kind).sequential) continue;
+    for (const NetId in : inst.inputs) {
+      const InstanceId drv = nets_[in].driver;
+      if (drv != ~InstanceId{0} && !cell_info(instances_[drv].kind).sequential)
+        ++pending[i];
+    }
+  }
+  std::queue<InstanceId> ready;
+  for (InstanceId i = 0; i < instances_.size(); ++i)
+    if (!cell_info(instances_[i].kind).sequential && pending[i] == 0)
+      ready.push(i);
+
+  topo_cache_.clear();
+  while (!ready.empty()) {
+    const InstanceId i = ready.front();
+    ready.pop();
+    topo_cache_.push_back(i);
+    for (const InstanceId consumer : fanout_cache_[instances_[i].output]) {
+      if (cell_info(instances_[consumer].kind).sequential) continue;
+      if (--pending[consumer] == 0) ready.push(consumer);
+    }
+  }
+  std::size_t comb_count = 0;
+  for (const Instance& inst : instances_)
+    if (!cell_info(inst.kind).sequential) ++comb_count;
+  u::require(topo_cache_.size() == comb_count,
+             "Netlist: combinational cycle detected");
+  caches_valid_ = true;
+}
+
+const std::vector<InstanceId>& Netlist::fanout(NetId net) const {
+  if (!caches_valid_) build_caches();
+  return fanout_cache_.at(net);
+}
+
+const std::vector<InstanceId>& Netlist::topo_order() const {
+  if (!caches_valid_) build_caches();
+  return topo_cache_;
+}
+
+std::vector<int> Netlist::levelize() const {
+  const auto& order = topo_order();
+  std::vector<int> level(instances_.size(), 0);
+  std::vector<int> net_level(nets_.size(), 0);
+  for (const InstanceId i : order) {
+    int lv_in = 0;
+    for (const NetId in : instances_[i].inputs)
+      lv_in = std::max(lv_in, net_level[in]);
+    level[i] = lv_in + 1;
+    net_level[instances_[i].output] = level[i];
+  }
+  return level;
+}
+
+std::vector<InstanceId> Netlist::sequential_instances() const {
+  std::vector<InstanceId> out;
+  for (InstanceId i = 0; i < instances_.size(); ++i)
+    if (cell_info(instances_[i].kind).sequential) out.push_back(i);
+  return out;
+}
+
+std::vector<std::string> Netlist::modules() const {
+  std::vector<std::string> out;
+  for (const Instance& inst : instances_) {
+    if (inst.module.empty()) continue;
+    if (std::find(out.begin(), out.end(), inst.module) == out.end())
+      out.push_back(inst.module);
+  }
+  return out;
+}
+
+std::unordered_map<std::string, std::size_t> Netlist::kind_histogram() const {
+  std::unordered_map<std::string, std::size_t> hist;
+  for (const Instance& inst : instances_)
+    ++hist[std::string(cell_info(inst.kind).name)];
+  return hist;
+}
+
+void Netlist::validate() const {
+  for (const Instance& inst : instances_) {
+    const CellInfo& info = cell_info(inst.kind);
+    u::require(inst.inputs.size() == static_cast<std::size_t>(info.input_count),
+               "Netlist: instance '" + inst.name + "' input count mismatch");
+    for (const NetId in : inst.inputs) {
+      const Net& n = nets_.at(in);
+      u::require(n.driver != ~InstanceId{0} || n.is_primary_input || n.is_clock,
+                 "Netlist: net '" + n.name + "' used by '" + inst.name +
+                     "' is undriven");
+    }
+    u::require(inst.output < nets_.size(),
+               "Netlist: instance '" + inst.name + "' output out of range");
+  }
+  // Sequential cells must be clocked by the clock net (pin 1 by convention).
+  for (const InstanceId i : sequential_instances()) {
+    const Instance& inst = instances_[i];
+    u::require(inst.inputs.size() == 2,
+               "Netlist: flop '" + inst.name + "' must have (d, clk)");
+    u::require(clock_ != kInvalidNet && inst.inputs[1] == clock_,
+               "Netlist: flop '" + inst.name + "' not connected to the clock");
+  }
+  topo_order();  // throws on combinational cycles
+}
+
+}  // namespace lv::circuit

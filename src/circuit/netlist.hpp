@@ -1,0 +1,110 @@
+// Gate-level netlist graph.
+//
+// A Netlist is a DAG of cell instances over single-driver nets, with
+// primary inputs/outputs and an optional clock net. Instances carry a
+// *module tag* (e.g. "adder", "multiplier") — the granularity at which the
+// paper's burst-mode analysis gates clocks and switches thresholds
+// ("functional units, or blocks, share a common V_T", Section 5.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/cells.hpp"
+
+namespace lv::circuit {
+
+using NetId = std::uint32_t;
+using InstanceId = std::uint32_t;
+
+inline constexpr NetId kInvalidNet = ~NetId{0};
+
+struct Net {
+  std::string name;
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+  bool is_clock = false;
+  InstanceId driver = ~InstanceId{0};  // invalid when input/undriven
+};
+
+struct Instance {
+  std::string name;
+  CellKind kind = CellKind::inv;
+  std::vector<NetId> inputs;
+  NetId output = kInvalidNet;
+  std::string module;  // functional-block tag ("" = top)
+};
+
+class Netlist {
+ public:
+  // ---- construction ----
+  NetId add_net(const std::string& name);
+  NetId add_input(const std::string& name);
+  NetId add_clock(const std::string& name);
+  void mark_output(NetId net);
+  // Adds a gate driving a fresh net named `<name>_o` (or driving `out`
+  // when given). Returns the output net.
+  NetId add_gate(CellKind kind, const std::string& name,
+                 const std::vector<NetId>& inputs,
+                 const std::string& module = "");
+  NetId add_gate_onto(CellKind kind, const std::string& name,
+                      const std::vector<NetId>& inputs, NetId out,
+                      const std::string& module = "");
+
+  // ---- queries ----
+  std::size_t net_count() const { return nets_.size(); }
+  std::size_t instance_count() const { return instances_.size(); }
+  const Net& net(NetId id) const { return nets_.at(id); }
+  const Instance& instance(InstanceId id) const { return instances_.at(id); }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+  NetId find_net(const std::string& name) const;  // kInvalidNet if absent
+
+  const std::vector<NetId>& primary_inputs() const { return inputs_; }
+  const std::vector<NetId>& primary_outputs() const { return outputs_; }
+  NetId clock_net() const { return clock_; }  // kInvalidNet when none
+
+  // Instances whose inputs include `net` (consumers).
+  const std::vector<InstanceId>& fanout(NetId net) const;
+  // Number of gate input pins attached to `net`.
+  std::size_t fanout_pins(NetId net) const { return fanout(net).size(); }
+
+  // Topological order of *combinational* instances (sequential cells are
+  // treated as sources/sinks). Throws lv::util::Error on a combinational
+  // cycle. The result is cached until the netlist is modified.
+  const std::vector<InstanceId>& topo_order() const;
+
+  // Per-instance logic level (inputs/flop outputs are level 0).
+  std::vector<int> levelize() const;
+
+  // All sequential instances.
+  std::vector<InstanceId> sequential_instances() const;
+
+  // Distinct module tags in insertion order ("" excluded).
+  std::vector<std::string> modules() const;
+  // Gate count per cell kind.
+  std::unordered_map<std::string, std::size_t> kind_histogram() const;
+
+  // Structural checks: every instance input exists and is driven or is a
+  // primary input/clock; single driver per net; input counts match the
+  // catalog. Throws with a description of the first violation.
+  void validate() const;
+
+ private:
+  std::vector<Net> nets_;
+  std::vector<Instance> instances_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  NetId clock_ = kInvalidNet;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  mutable std::vector<std::vector<InstanceId>> fanout_cache_;
+  mutable std::vector<InstanceId> topo_cache_;
+  mutable bool caches_valid_ = false;
+
+  void invalidate_caches() { caches_valid_ = false; }
+  void build_caches() const;
+};
+
+}  // namespace lv::circuit

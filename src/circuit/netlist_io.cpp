@@ -1,0 +1,111 @@
+#include "circuit/netlist_io.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lv::circuit {
+
+namespace u = lv::util;
+
+std::string to_netlist_text(const Netlist& nl) {
+  std::ostringstream out;
+  out << "lvnet 1\n";
+  for (const NetId id : nl.primary_inputs()) out << "input " << nl.net(id).name << '\n';
+  if (nl.clock_net() != kInvalidNet)
+    out << "clock " << nl.net(nl.clock_net()).name << '\n';
+  // Declare every other net explicitly so inputs always resolve on read.
+  for (NetId id = 0; id < nl.net_count(); ++id) {
+    const Net& n = nl.net(id);
+    if (!n.is_primary_input && !n.is_clock) out << "net " << n.name << '\n';
+  }
+  for (const Instance& inst : nl.instances()) {
+    out << "gate " << inst.name << ' ' << cell_info(inst.kind).name << ' '
+        << nl.net(inst.output).name;
+    for (const NetId in : inst.inputs) out << ' ' << nl.net(in).name;
+    if (!inst.module.empty()) out << " module=" << inst.module;
+    out << '\n';
+  }
+  for (const NetId id : nl.primary_outputs())
+    out << "output " << nl.net(id).name << '\n';
+  return out.str();
+}
+
+Netlist parse_netlist_text(std::string_view text) {
+  Netlist nl;
+  int line_no = 0;
+  bool saw_header = false;
+
+  auto fail = [&](const std::string& message) -> void {
+    throw u::Error("netlist line " + std::to_string(line_no) + ": " + message);
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string line{text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos)};
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words{line};
+    std::vector<std::string> tok;
+    for (std::string w; words >> w;) tok.push_back(w);
+    if (tok.empty()) continue;
+
+    if (!saw_header) {
+      if (tok.size() != 2 || tok[0] != "lvnet" || tok[1] != "1")
+        fail("missing 'lvnet 1' header");
+      saw_header = true;
+      continue;
+    }
+
+    if (tok[0] == "input") {
+      if (tok.size() != 2) fail("input takes one name");
+      nl.add_input(tok[1]);
+    } else if (tok[0] == "clock") {
+      if (tok.size() != 2) fail("clock takes one name");
+      nl.add_clock(tok[1]);
+    } else if (tok[0] == "net") {
+      if (tok.size() != 2) fail("net takes one name");
+      nl.add_net(tok[1]);
+    } else if (tok[0] == "output") {
+      if (tok.size() != 2) fail("output takes one name");
+      const NetId id = nl.find_net(tok[1]);
+      if (id == kInvalidNet) fail("unknown net '" + tok[1] + "'");
+      nl.mark_output(id);
+    } else if (tok[0] == "gate") {
+      if (tok.size() < 4) fail("gate needs name, kind, and output");
+      std::string module;
+      if (tok.back().rfind("module=", 0) == 0) {
+        module = tok.back().substr(7);
+        tok.pop_back();
+      }
+      const CellKind kind = cell_kind_from_name(tok[2]);
+      if (kind == CellKind::kind_count) fail("unknown cell '" + tok[2] + "'");
+      NetId out_net = nl.find_net(tok[3]);
+      if (out_net == kInvalidNet) out_net = nl.add_net(tok[3]);
+      std::vector<NetId> ins;
+      for (std::size_t i = 4; i < tok.size(); ++i) {
+        const NetId in = nl.find_net(tok[i]);
+        if (in == kInvalidNet) fail("unknown input net '" + tok[i] + "'");
+        ins.push_back(in);
+      }
+      try {
+        nl.add_gate_onto(kind, tok[1], ins, out_net, module);
+      } catch (const u::Error& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown statement '" + tok[0] + "'");
+    }
+  }
+  if (!saw_header) throw u::Error("netlist: empty input");
+  nl.validate();
+  return nl;
+}
+
+}  // namespace lv::circuit

@@ -1,0 +1,42 @@
+// Netlist transformations.
+//
+// The paper's Section 1 lists "glitch elimination techniques" and circuit
+// optimization among the switched-capacitance levers. This module
+// provides the structural ones:
+//   * optimize_netlist — constant propagation (tie-cell folding) and
+//     dead-logic elimination; less logic = less switched capacitance and
+//     less leakage;
+//   * insert_fanout_buffers — splits heavily-loaded nets with BUF cells,
+//     reducing worst-case net delay (and delay-imbalance glitching).
+//
+// Netlists are immutable-by-append, so transforms rebuild: they return a
+// fresh Netlist preserving primary input/output/clock names and the names
+// of surviving instances.
+#pragma once
+
+#include "circuit/netlist.hpp"
+
+namespace lv::circuit {
+
+struct TransformStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t constants_folded = 0;  // gates replaced by tie cells
+  std::size_t dead_removed = 0;      // unobservable gates dropped
+  std::size_t buffers_inserted = 0;
+};
+
+// Constant propagation + dead-logic elimination. Gate outputs provably
+// constant with all primary inputs unknown become TIE cells; logic that
+// cannot reach a primary output or a flop D-pin is removed. Functional
+// behaviour at the primary outputs is preserved.
+Netlist optimize_netlist(const Netlist& input,
+                         TransformStats* stats = nullptr);
+
+// Rebuilds with BUF cells so no net drives more than `max_fanout` input
+// pins (primary outputs keep their original driver). Throws if
+// max_fanout < 2.
+Netlist insert_fanout_buffers(const Netlist& input, int max_fanout,
+                              TransformStats* stats = nullptr);
+
+}  // namespace lv::circuit

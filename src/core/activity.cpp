@@ -1,0 +1,26 @@
+#include "core/activity.hpp"
+
+#include "util/error.hpp"
+
+namespace lv::core {
+
+void ActivityVars::validate() const {
+  namespace u = lv::util;
+  u::require(fga >= 0.0 && fga <= 1.0, "ActivityVars: fga out of [0,1]");
+  u::require(bga >= 0.0 && bga <= 1.0, "ActivityVars: bga out of [0,1]");
+  u::require(alpha >= 0.0, "ActivityVars: alpha must be >= 0");
+}
+
+ActivityVars activity_from_profile(const profile::UnitProfile& unit_profile,
+                                   double alpha, double system_duty) {
+  lv::util::require(system_duty > 0.0 && system_duty <= 1.0,
+                    "activity_from_profile: duty out of (0,1]");
+  ActivityVars vars;
+  vars.fga = unit_profile.fga * system_duty;
+  vars.bga = unit_profile.bga * system_duty;
+  vars.alpha = alpha;
+  vars.validate();
+  return vars;
+}
+
+}  // namespace lv::core

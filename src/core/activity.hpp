@@ -1,0 +1,32 @@
+// Activity variables of the paper's burst-mode power model (Section 5.1,
+// Fig. 7):
+//   fga  — fraction of cycles a functional block is active (gated clocks
+//          shut it down otherwise);
+//   bga  — probability per cycle of a power-mode transition (back-gate
+//          swing for SOIAS, sleep-signal toggle for MTCMOS, well swing for
+//          body bias);
+//   alpha — average node transition activity while the block is on (the
+//          per-node quantity Figs. 8-9 histogram).
+#pragma once
+
+#include "profile/profiler.hpp"
+
+namespace lv::core {
+
+struct ActivityVars {
+  double fga = 1.0;
+  double bga = 0.0;
+  double alpha = 0.5;
+
+  void validate() const;
+};
+
+// Converts an architectural profile (Tables 1-3) into activity variables.
+// `system_duty` scales for event-driven systems: the paper's X-server case
+// multiplies a continuously-active profile by the ~20% fraction of time
+// the processor is awake at all (Section 5.4). `alpha` comes from logic
+// simulation (lv_sim) and is passed through.
+ActivityVars activity_from_profile(const profile::UnitProfile& unit_profile,
+                                   double alpha, double system_duty = 1.0);
+
+}  // namespace lv::core

@@ -1,0 +1,72 @@
+#include "core/bus_encoding.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace lv::core {
+
+namespace {
+
+std::uint64_t to_gray(std::uint64_t v) { return v ^ (v >> 1); }
+
+}  // namespace
+
+const char* to_string(BusEncoding encoding) {
+  switch (encoding) {
+    case BusEncoding::binary: return "binary";
+    case BusEncoding::gray: return "gray";
+    case BusEncoding::bus_invert: return "bus_invert";
+  }
+  return "?";
+}
+
+BusActivityResult bus_activity(const std::vector<std::uint64_t>& values,
+                               int width, BusEncoding encoding) {
+  lv::util::require(width >= 1 && width <= 63,
+                    "bus_activity: width in [1, 63]");
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+
+  BusActivityResult result;
+  result.wires = width + (encoding == BusEncoding::bus_invert ? 1 : 0);
+
+  std::uint64_t wire_state = 0;  // includes the invert line as bit `width`
+  for (std::uint64_t v : values) {
+    lv::util::require((v & ~mask) == 0, "bus_activity: value exceeds width");
+    std::uint64_t next = 0;
+    switch (encoding) {
+      case BusEncoding::binary:
+        next = v;
+        break;
+      case BusEncoding::gray:
+        next = to_gray(v);
+        break;
+      case BusEncoding::bus_invert: {
+        const std::uint64_t data_state = wire_state & mask;
+        const int distance =
+            std::popcount((data_state ^ v) & mask);
+        const bool invert = distance > width / 2;
+        next = (invert ? (~v & mask) : v);
+        if (invert) next |= (std::uint64_t{1} << width);
+        break;
+      }
+    }
+    result.transitions +=
+        static_cast<std::uint64_t>(std::popcount(wire_state ^ next));
+    wire_state = next;
+  }
+  result.per_word = values.empty()
+                        ? 0.0
+                        : static_cast<double>(result.transitions) /
+                              static_cast<double>(values.size());
+  return result;
+}
+
+std::vector<BusActivityResult> compare_encodings(
+    const std::vector<std::uint64_t>& values, int width) {
+  return {bus_activity(values, width, BusEncoding::binary),
+          bus_activity(values, width, BusEncoding::gray),
+          bus_activity(values, width, BusEncoding::bus_invert)};
+}
+
+}  // namespace lv::core

@@ -1,0 +1,40 @@
+// Data-representation optimization for buses (paper Section 1: switched
+// capacitance can be reduced by "optimizing data representation").
+//
+// Off-module buses carry large capacitance per wire, so the *encoding*
+// of the values they carry sets their power. This module counts bus
+// transitions for a value stream under:
+//   * binary        — the raw values;
+//   * gray          — consecutive-value distance 1 (wins for counting /
+//                     strongly correlated streams);
+//   * bus-invert    — Stall/Burleson: send the complement (plus one
+//                     invert line) whenever the Hamming distance to the
+//                     previous word exceeds half the width (wins for
+//                     random streams; bounded worst case).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lv::core {
+
+enum class BusEncoding { binary, gray, bus_invert };
+
+const char* to_string(BusEncoding encoding);
+
+struct BusActivityResult {
+  std::uint64_t transitions = 0;   // total wire toggles over the stream
+  double per_word = 0.0;           // transitions per transmitted word
+  int wires = 0;                   // bus width incl. any control lines
+};
+
+// Counts wire transitions for transmitting `values` (each < 2^width) over
+// a `width`-bit bus under the chosen encoding. The bus starts at 0.
+BusActivityResult bus_activity(const std::vector<std::uint64_t>& values,
+                               int width, BusEncoding encoding);
+
+// Convenience: activity of all three encodings for one stream.
+std::vector<BusActivityResult> compare_encodings(
+    const std::vector<std::uint64_t>& values, int width);
+
+}  // namespace lv::core

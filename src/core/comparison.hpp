@@ -1,0 +1,51 @@
+// Technology comparison over the (fga, bga) plane — the generator for the
+// paper's Fig. 10: log10(E_SOIAS / E_SOI) contours with application data
+// points and the breakeven (zero) contour.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/energy_model.hpp"
+
+namespace lv::core {
+
+struct RatioGrid {
+  std::vector<double> fga_axis;  // log-spaced, ascending
+  std::vector<double> bga_axis;  // log-spaced, ascending
+  // log_ratio[bga_index][fga_index]; bga rows ascend with index.
+  std::vector<std::vector<double>> log_ratio;
+
+  // For each fga column, the bga at which the ratio crosses zero (the
+  // breakeven back-gate activity), linearly interpolated in log space;
+  // nullopt when SOIAS wins (or loses) across the whole column.
+  std::vector<std::optional<double>> breakeven_bga() const;
+};
+
+// Evaluates the ratio over [fga_lo, fga_hi] x [bga_lo, bga_hi] (log axes).
+// Points with bga > fga are still evaluated (the model is defined), but
+// physical operating points satisfy bga <= fga.
+RatioGrid energy_ratio_grid(const ModuleParams& module, double alpha,
+                            const BurstOperatingPoint& op,
+                            double fga_lo = 1e-5, double fga_hi = 1.0,
+                            double bga_lo = 1e-5, double bga_hi = 1.0,
+                            std::size_t points = 41);
+
+struct ApplicationPoint {
+  std::string label;
+  ActivityVars activity;
+  double e_soi = 0.0;
+  double e_soias = 0.0;
+  double log_ratio = 0.0;
+  // Positive = SOIAS saves energy (the paper quotes 43%/81%/97% for the
+  // X-server adder/shifter/multiplier).
+  double savings_percent = 0.0;
+};
+
+ApplicationPoint evaluate_application(const std::string& label,
+                                      const ModuleParams& module,
+                                      const ActivityVars& activity,
+                                      const BurstOperatingPoint& op);
+
+}  // namespace lv::core

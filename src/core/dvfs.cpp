@@ -1,0 +1,100 @@
+#include "core/dvfs.hpp"
+
+#include "power/estimator.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lv::core {
+
+namespace u = lv::util;
+
+DvfsResult plan_dvfs(const circuit::Netlist& netlist,
+                     const tech::Process& process,
+                     const std::vector<WorkInterval>& intervals,
+                     double alpha, double race_vdd) {
+  u::require(!intervals.empty(), "plan_dvfs: need at least one interval");
+  if (race_vdd <= 0.0) race_vdd = process.vdd_nominal;
+
+  auto delay_at = [&](double vdd) {
+    const timing::DelayModel dm{process, vdd};
+    if (!dm.feasible()) return 1e9;
+    return timing::Sta{netlist, process, vdd}.run(1.0).critical_delay;
+  };
+  auto energy_per_op = [&](double vdd, double f) {
+    power::OperatingPoint op;
+    op.vdd = vdd;
+    op.f_clk = f;
+    op.temp_k = process.temp_k;
+    const power::PowerEstimator est{netlist, process, op};
+    return est.estimate_uniform(alpha).energy_per_cycle(f);
+  };
+  auto idle_leak_power = [&](double vdd) {
+    power::OperatingPoint op;
+    op.vdd = vdd;
+    op.temp_k = process.temp_k;
+    const power::PowerEstimator est{netlist, process, op};
+    return est.leakage_current() * vdd;
+  };
+
+  const double race_delay = delay_at(race_vdd);
+  const double race_rate = race_delay < 1e8 ? 1.0 / race_delay : 0.0;
+  const double race_eop = energy_per_op(race_vdd, race_rate);
+  const double race_idle_w = idle_leak_power(race_vdd);
+
+  DvfsResult result;
+  result.all_feasible = true;
+  for (const auto& interval : intervals) {
+    u::require(interval.seconds > 0.0 && interval.required_ops >= 0.0,
+               "plan_dvfs: bad interval");
+    DvfsIntervalPlan plan;
+    const double needed_rate = interval.required_ops / interval.seconds;
+
+    // --- baseline: race at race_vdd, then idle-leak the rest ---
+    if (race_rate >= needed_rate && race_rate > 0.0) {
+      const double busy_s = interval.required_ops / race_rate;
+      result.race_to_idle_energy +=
+          interval.required_ops * race_eop +
+          (interval.seconds - busy_s) * race_idle_w;
+    } else {
+      result.race_to_idle_energy += 1e30;  // baseline cannot keep up
+    }
+
+    // --- DVFS: lowest supply whose rate covers the interval ---
+    if (needed_rate <= 0.0) {
+      // Pure idle interval: leak at the lowest feasible supply.
+      plan.vdd = 0.05;
+      plan.f_clk = 0.0;
+      plan.energy = idle_leak_power(plan.vdd) * interval.seconds;
+      plan.feasible = true;
+    } else if (1.0 / delay_at(process.vdd_max) < needed_rate) {
+      plan.feasible = false;
+      result.all_feasible = false;
+    } else {
+      const double lo = 0.05;
+      double vdd = process.vdd_max;
+      if (1.0 / delay_at(lo) >= needed_rate) {
+        vdd = lo;
+      } else {
+        const auto solved = u::bisect(
+            [&](double v) { return 1.0 / delay_at(v) - needed_rate; }, lo,
+            process.vdd_max, 1e-4);
+        if (solved) vdd = solved->x;
+      }
+      plan.vdd = vdd;
+      plan.f_clk = 1.0 / delay_at(vdd);
+      plan.energy = interval.required_ops * energy_per_op(vdd, plan.f_clk);
+      plan.feasible = true;
+    }
+    result.total_energy += plan.feasible ? plan.energy : 0.0;
+    result.plan.push_back(plan);
+  }
+  if (result.race_to_idle_energy > 0.0 &&
+      result.race_to_idle_energy < 1e29) {
+    result.savings_fraction =
+        1.0 - result.total_energy / result.race_to_idle_energy;
+  }
+  return result;
+}
+
+}  // namespace lv::core

@@ -1,0 +1,49 @@
+// Dynamic voltage scaling for rate-varying workloads.
+//
+// The event-driven analysis of Section 4 turns blocks *off* when idle;
+// the complementary technique for partially-loaded intervals is to slow
+// down instead: run each interval at the lowest supply meeting its
+// required rate rather than racing at full voltage and idling. This
+// module schedules per-interval (V_DD, f) for a netlist against a
+// workload profile and quantifies the saving over the race-to-idle
+// baseline — the natural "future work" extension of the paper's
+// framework (realized commercially as DVFS a few years later).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "tech/process.hpp"
+
+namespace lv::core {
+
+struct WorkInterval {
+  double seconds = 0.0;     // interval length
+  double required_ops = 0;  // operations that must complete within it
+};
+
+struct DvfsIntervalPlan {
+  double vdd = 0.0;       // chosen supply [V]
+  double f_clk = 0.0;     // resulting rate [ops/s]
+  double energy = 0.0;    // interval energy [J]
+  bool feasible = false;  // rate achievable at any supply
+};
+
+struct DvfsResult {
+  std::vector<DvfsIntervalPlan> plan;
+  double total_energy = 0.0;           // DVFS schedule [J]
+  double race_to_idle_energy = 0.0;    // full-vdd + idle-leak baseline [J]
+  double savings_fraction = 0.0;       // 1 - dvfs / baseline
+  bool all_feasible = false;
+};
+
+// Plans per-interval supplies for `netlist` in `process`. The race-to-
+// idle baseline runs every interval at `race_vdd` (default: the process
+// nominal) and leaks at low VT while idle. `alpha` is the node activity
+// while computing.
+DvfsResult plan_dvfs(const circuit::Netlist& netlist,
+                     const tech::Process& process,
+                     const std::vector<WorkInterval>& intervals,
+                     double alpha, double race_vdd = 0.0);
+
+}  // namespace lv::core

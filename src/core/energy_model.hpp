@@ -1,0 +1,81 @@
+// Per-cycle energy models for burst-mode technologies (paper Section 5.2,
+// Eqs. 3-4) plus the MTCMOS and body-bias variants the paper's Section 4
+// discusses qualitatively.
+//
+//   E_SOI    = fga * alpha * C_fg * V_DD^2
+//            + I_leak(low) * V_DD * t_cyc                      (Eq. 3)
+//
+//   E_SOIAS  = fga * alpha * C_fg * V_DD^2
+//            + bga * C_bg * V_bg^2
+//            + fga * I_leak(low) * V_DD * t_cyc
+//            + (1 - fga) * I_leak(high) * V_DD * t_cyc         (Eq. 4)
+//
+// The SOIAS module pays a back-gate switching overhead (bga term) to put
+// idle cycles at the high threshold; standard SOI leaks at the low
+// threshold continuously.
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "core/activity.hpp"
+#include "tech/process.hpp"
+
+namespace lv::core {
+
+// Electrical abstraction of one functional block.
+struct ModuleParams {
+  std::string name;
+  double c_fg = 0.0;        // switched capacitance while active [F]
+  double c_bg = 0.0;        // back-gate / sleep-control capacitance [F]
+  double i_leak_low = 0.0;  // block leakage at the low VT [A]
+  double i_leak_high = 0.0; // block leakage at the high/standby VT [A]
+  // MTCMOS only: residual stack leakage through the OFF sleep device [A].
+  double i_leak_gated = 0.0;
+
+  void validate() const;
+};
+
+struct BurstOperatingPoint {
+  double vdd = 1.0;    // [V]
+  double v_bg = 3.0;   // back-gate / control swing [V]
+  double f_clk = 50e6; // [Hz]
+  // Charge-pump efficiency for generating the control swing (body bias
+  // needs above-rail / below-ground voltages; 1 = free, paper-style).
+  double pump_efficiency = 1.0;
+};
+
+// Eq. 3: fixed low-VT SOI.
+double energy_soi(const ModuleParams& module, const ActivityVars& activity,
+                  const BurstOperatingPoint& op);
+
+// Eq. 4: SOIAS with per-block back-gate control.
+double energy_soias(const ModuleParams& module, const ActivityVars& activity,
+                    const BurstOperatingPoint& op);
+
+// MTCMOS: sleep control toggles with bga; gated idle cycles leak through
+// the high-VT stack (i_leak_gated).
+double energy_mtcmos(const ModuleParams& module, const ActivityVars& activity,
+                     const BurstOperatingPoint& op);
+
+// Body bias: like SOIAS but the well capacitance is charged through a
+// charge pump with the given efficiency.
+double energy_body_bias(const ModuleParams& module,
+                        const ActivityVars& activity,
+                        const BurstOperatingPoint& op);
+
+// log10(E_SOIAS / E_SOI) — the z-axis of Fig. 10. Negative = SOIAS wins.
+double log_energy_ratio(const ModuleParams& module,
+                        const ActivityVars& activity,
+                        const BurstOperatingPoint& op);
+
+// Extracts ModuleParams from a netlist module (or the whole netlist when
+// `module_tag` is empty) in the given SOIAS-capable process: front-gate
+// cap from the LoadModel, back-gate cap from the SOIAS geometry, low/high
+// leakage from the device models at the two back-gate states.
+ModuleParams module_params_from_netlist(const circuit::Netlist& netlist,
+                                        const tech::Process& soias_process,
+                                        double vdd,
+                                        const std::string& module_tag = "");
+
+}  // namespace lv::core

@@ -1,0 +1,159 @@
+#include "core/event_system.hpp"
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace lv::core {
+
+namespace u = lv::util;
+
+std::uint64_t EventTrace::total_cycles() const {
+  std::uint64_t total = 0;
+  for (const auto r : runs) total += r;
+  return total;
+}
+
+std::uint64_t EventTrace::busy_cycles() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < runs.size(); i += 2) total += runs[i];
+  return total;
+}
+
+double EventTrace::duty() const {
+  const auto total = total_cycles();
+  return total == 0 ? 0.0
+                    : static_cast<double>(busy_cycles()) /
+                          static_cast<double>(total);
+}
+
+EventTrace make_bursty_trace(std::size_t bursts, std::uint32_t busy_max,
+                             std::uint32_t idle_max, std::uint64_t seed) {
+  u::require(busy_max >= 1 && idle_max >= 1,
+             "make_bursty_trace: run maxima must be >= 1");
+  u::Xoshiro256 rng{seed};
+  EventTrace trace;
+  trace.runs.reserve(2 * bursts);
+  for (std::size_t i = 0; i < bursts; ++i) {
+    trace.runs.push_back(
+        static_cast<std::uint32_t>(1 + rng.next_below(busy_max)));
+    trace.runs.push_back(
+        static_cast<std::uint32_t>(1 + rng.next_below(idle_max)));
+  }
+  return trace;
+}
+
+EventTrace xserver_trace(std::size_t bursts, std::uint64_t seed) {
+  // ~2% duty ("an X server which is active 2% of the time", Section 5.4):
+  // short bursts separated by idle gaps thousands of cycles long, so
+  // sleeping comfortably amortizes the mode-transition cost.
+  return make_bursty_trace(bursts, 200, 10000, seed);
+}
+
+const char* to_string(ShutdownPolicy policy) {
+  switch (policy) {
+    case ShutdownPolicy::always_on: return "always_on";
+    case ShutdownPolicy::ideal: return "ideal";
+    case ShutdownPolicy::timeout: return "timeout";
+    case ShutdownPolicy::predictive: return "predictive";
+  }
+  return "?";
+}
+
+PolicyResult evaluate_policy(const EventTrace& trace,
+                             const ModuleParams& module, double alpha,
+                             const BurstOperatingPoint& op,
+                             const PolicyConfig& config) {
+  module.validate();
+  u::require(trace.runs.size() % 2 == 0,
+             "evaluate_policy: trace must alternate busy/idle pairs");
+
+  const double t_cyc = 1.0 / op.f_clk;
+  const double e_busy = alpha * module.c_fg * op.vdd * op.vdd +
+                        module.i_leak_low * op.vdd * t_cyc;
+  const double e_idle_awake = module.i_leak_low * op.vdd * t_cyc;
+  const double e_asleep = module.i_leak_high * op.vdd * t_cyc;
+  const double e_transition = module.c_bg * op.v_bg * op.v_bg;
+  // Wake stall: block is awake (low VT) but not doing useful work.
+  const double e_stall = e_idle_awake;
+
+  PolicyResult result;
+  result.policy = to_string(config.policy);
+
+  // Idle length at which sleeping pays: the saved leakage must cover the
+  // two mode transitions plus the wake stall.
+  const double leak_saving_per_cycle = e_idle_awake - e_asleep;
+  const double sleep_overhead =
+      2.0 * e_transition + config.wake_latency * e_stall;
+  const double oracle_breakeven =
+      leak_saving_per_cycle > 0.0 ? sleep_overhead / leak_saving_per_cycle
+                                  : 1e30;
+
+  double predicted_idle = static_cast<double>(config.breakeven_cycles);
+
+  for (std::size_t i = 0; i < trace.runs.size(); i += 2) {
+    const std::uint32_t busy = trace.runs[i];
+    const std::uint32_t idle = trace.runs[i + 1];
+    result.energy += busy * e_busy;
+
+    std::uint32_t awake_idle = idle;  // cycles spent idle at low VT
+    std::uint32_t asleep = 0;
+    bool slept = false;
+
+    switch (config.policy) {
+      case ShutdownPolicy::always_on:
+        break;
+      case ShutdownPolicy::ideal:
+        // Oracle: knows this idle run's length and sleeps only when the
+        // saved leakage beats the transition + wake overhead.
+        if (static_cast<double>(idle) > oracle_breakeven) {
+          awake_idle = 0;
+          asleep = idle;
+          slept = true;
+        }
+        break;
+      case ShutdownPolicy::timeout:
+        if (idle > config.timeout_cycles) {
+          awake_idle = config.timeout_cycles;
+          asleep = idle - config.timeout_cycles;
+          slept = true;
+        }
+        break;
+      case ShutdownPolicy::predictive: {
+        if (predicted_idle >= config.breakeven_cycles) {
+          awake_idle = 0;
+          asleep = idle;
+          slept = true;
+        }
+        predicted_idle = config.ewma_weight * idle +
+                         (1.0 - config.ewma_weight) * predicted_idle;
+        break;
+      }
+    }
+
+    result.energy += awake_idle * e_idle_awake + asleep * e_asleep;
+    if (slept) {
+      result.energy += 2.0 * e_transition;  // enter + exit
+      result.energy += config.wake_latency * e_stall;
+      result.stall_cycles += config.wake_latency;
+      ++result.transitions;
+      result.asleep_cycles += asleep;
+    }
+  }
+  return result;
+}
+
+std::vector<PolicyResult> evaluate_standard_policies(
+    const EventTrace& trace, const ModuleParams& module, double alpha,
+    const BurstOperatingPoint& op, const PolicyConfig& config) {
+  std::vector<PolicyResult> out;
+  for (const auto policy :
+       {ShutdownPolicy::always_on, ShutdownPolicy::timeout,
+        ShutdownPolicy::predictive, ShutdownPolicy::ideal}) {
+    PolicyConfig c = config;
+    c.policy = policy;
+    out.push_back(evaluate_policy(trace, module, alpha, op, c));
+  }
+  return out;
+}
+
+}  // namespace lv::core

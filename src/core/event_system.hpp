@@ -1,0 +1,82 @@
+// Event-driven system model and shutdown policies (paper Section 4's
+// motivation — "an X server ... the processor spends more than 95% of its
+// time in the off state" — and reference [4]'s predictive shutdown).
+//
+// A trace is a sequence of busy/idle runs in cycles. Policies decide when
+// to enter the low-leakage state during idle runs; each entry/exit costs a
+// mode-transition energy (the bga overhead of Eq. 4) and an exit latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/energy_model.hpp"
+
+namespace lv::core {
+
+struct EventTrace {
+  // Alternating runs: runs[0] busy, runs[1] idle, runs[2] busy, ...
+  std::vector<std::uint32_t> runs;
+
+  std::uint64_t total_cycles() const;
+  std::uint64_t busy_cycles() const;
+  double duty() const;  // busy / total
+};
+
+// Bursty trace: busy runs ~ [1, busy_max], idle runs ~ [1, idle_max]
+// (uniform, seeded); expected duty ~ busy_max / (busy_max + idle_max).
+EventTrace make_bursty_trace(std::size_t bursts, std::uint32_t busy_max,
+                             std::uint32_t idle_max, std::uint64_t seed);
+
+// X-server-like default: short activity bursts separated by long idle
+// gaps, ~20% duty at the defaults.
+EventTrace xserver_trace(std::size_t bursts = 400, std::uint64_t seed = 0x5e);
+
+enum class ShutdownPolicy {
+  always_on,   // stay at the low VT through idle (standard SOI, Eq. 3)
+  ideal,       // oracle: knows each idle run's length and sleeps exactly
+               // when the saved leakage beats the transition overhead
+  timeout,     // sleep after `timeout_cycles` of observed idleness
+  predictive,  // sleep immediately when the EWMA of past idle lengths
+               // exceeds the breakeven threshold (ref [4])
+};
+
+const char* to_string(ShutdownPolicy policy);
+
+struct PolicyConfig {
+  ShutdownPolicy policy = ShutdownPolicy::timeout;
+  std::uint32_t timeout_cycles = 512;
+  // Predictive: sleep when predicted idle >= breakeven_cycles; EWMA
+  // weight for the idle-length predictor. 512 cycles roughly matches the
+  // transition-cost breakeven of adder-scale SOIAS modules at 50 MHz.
+  std::uint32_t breakeven_cycles = 512;
+  double ewma_weight = 0.5;
+  // Cycles to re-awaken (added as active-leakage stall cycles).
+  std::uint32_t wake_latency = 4;
+};
+
+struct PolicyResult {
+  std::string policy;
+  double energy = 0.0;            // total over the trace [J]
+  std::uint64_t transitions = 0;  // sleep entries
+  std::uint64_t asleep_cycles = 0;
+  std::uint64_t stall_cycles = 0;  // wake-latency cycles inserted
+};
+
+// Simulates the trace cycle-by-cycle under one policy. Busy cycles cost
+// switching + low-VT leakage; awake-idle cycles cost low-VT leakage only
+// (clock gated); asleep cycles cost high-VT leakage; each sleep entry +
+// exit costs one C_bg * V_bg^2 transition each.
+PolicyResult evaluate_policy(const EventTrace& trace,
+                             const ModuleParams& module, double alpha,
+                             const BurstOperatingPoint& op,
+                             const PolicyConfig& config);
+
+// Runs the standard policy set (always-on, timeout, predictive, ideal)
+// with the same config.
+std::vector<PolicyResult> evaluate_standard_policies(
+    const EventTrace& trace, const ModuleParams& module, double alpha,
+    const BurstOperatingPoint& op, const PolicyConfig& config = {});
+
+}  // namespace lv::core

@@ -1,0 +1,83 @@
+#include "core/parallel_arch.hpp"
+
+#include "power/estimator.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lv::core {
+
+namespace u = lv::util;
+
+ParallelismResult explore_parallelism(const circuit::Netlist& netlist,
+                                      const tech::Process& process,
+                                      double f_target, double alpha,
+                                      int max_lanes, double mux_overhead) {
+  u::require(f_target > 0.0, "explore_parallelism: rate must be > 0");
+  u::require(max_lanes >= 1 && max_lanes <= 64,
+             "explore_parallelism: lanes in [1, 64]");
+  u::require(mux_overhead >= 0.0, "explore_parallelism: overhead >= 0");
+
+  ParallelismResult result;
+  for (int n = 1; n <= max_lanes; ++n) {
+    ParallelismPoint pt;
+    pt.lanes = n;
+    pt.area_factor = n * (1.0 + mux_overhead * (n - 1));
+
+    // Lane delay budget: n cycles of the target rate.
+    const double budget = static_cast<double>(n) / f_target;
+    auto delay_at = [&](double vdd) {
+      const timing::DelayModel dm{process, vdd};
+      if (!dm.feasible()) return 1e9;
+      const timing::Sta sta{netlist, process, vdd};
+      return sta.run(1.0).critical_delay;
+    };
+    // Solve vdd: critical_delay(vdd) == budget (delay decreasing in vdd).
+    const double lo = 0.05;
+    const double hi = process.vdd_max;
+    double vdd = 0.0;
+    if (delay_at(hi) > budget) {
+      result.sweep.push_back(pt);  // cannot meet rate even at max supply
+      continue;
+    }
+    if (delay_at(lo) <= budget) {
+      vdd = lo;
+    } else {
+      const auto solved = u::bisect(
+          [&](double v) { return delay_at(v) - budget; }, lo, hi, 1e-4);
+      if (!solved) {
+        result.sweep.push_back(pt);
+        continue;
+      }
+      vdd = solved->x;
+    }
+    pt.vdd = vdd;
+
+    // Lane energy per operation at the relaxed rate; overhead scales the
+    // switching component; all N lanes leak for the whole operation.
+    power::OperatingPoint op;
+    op.vdd = vdd;
+    op.f_clk = f_target / n;  // each lane completes one op per budget
+    op.temp_k = process.temp_k;
+    const power::PowerEstimator est{netlist, process, op};
+    const auto lane = est.estimate_uniform(alpha);
+    const double overhead_mult = 1.0 + mux_overhead * (n - 1);
+    const double switching_op =
+        (lane.switching + lane.short_circuit + lane.clock) / op.f_clk *
+        overhead_mult;
+    // n lanes leak during each operation interval (1 / f_target per op
+    // per lane, n lanes).
+    const double leakage_op = lane.leakage * n / f_target;
+    pt.energy_per_op = switching_op + leakage_op;
+    pt.switching_share = switching_op / pt.energy_per_op;
+    pt.feasible = true;
+    result.sweep.push_back(pt);
+
+    if (!result.best.feasible ||
+        pt.energy_per_op < result.best.energy_per_op)
+      result.best = pt;
+  }
+  return result;
+}
+
+}  // namespace lv::core

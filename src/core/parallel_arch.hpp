@@ -1,0 +1,45 @@
+// Architecture-driven voltage scaling (paper Section 1: "an architectural
+// voltage scaling strategy which trades off silicon area for lower power
+// consumption has been proposed [1]" — Chandrakasan & Brodersen).
+//
+// An N-way parallel implementation of a datapath meets the same
+// throughput with each lane running N times slower, so the supply can
+// drop until the lane's critical delay equals N cycles of the target
+// rate. Switching energy falls with V^2; the costs are the multiplex/
+// routing overhead per extra lane and N lanes' worth of leakage — which
+// is why an interior optimum N exists, and why it moves with the leakage
+// of the chosen threshold (tying this analysis back to Figs. 3-4).
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "tech/process.hpp"
+
+namespace lv::core {
+
+struct ParallelismPoint {
+  int lanes = 1;
+  double vdd = 0.0;            // solved lane supply [V]
+  double energy_per_op = 0.0;  // [J], including overhead and leakage
+  double switching_share = 0.0;  // fraction of energy that is switching
+  double area_factor = 1.0;    // ~ lanes * (1 + overhead)
+  bool feasible = false;
+};
+
+struct ParallelismResult {
+  std::vector<ParallelismPoint> sweep;
+  ParallelismPoint best;  // minimum energy per operation
+};
+
+// Explores N = 1 .. max_lanes for `netlist` (one lane) at operation rate
+// `f_target` [ops/s] and node activity `alpha`. `mux_overhead` is the
+// fractional switched-capacitance overhead added per extra lane
+// (multiplexing, routing — 0.15 is the classic estimate).
+ParallelismResult explore_parallelism(const circuit::Netlist& netlist,
+                                      const tech::Process& process,
+                                      double f_target, double alpha,
+                                      int max_lanes = 8,
+                                      double mux_overhead = 0.15);
+
+}  // namespace lv::core

@@ -1,0 +1,69 @@
+#include "device/capacitance.hpp"
+
+#include <cmath>
+
+#include "util/numeric.hpp"
+
+namespace lv::device {
+
+CapacitanceModel::CapacitanceModel(MosfetParams params, double w)
+    : params_{params}, w_{w} {
+  params_.validate();
+  lv::util::require(w > 0.0, "CapacitanceModel: width must be > 0");
+}
+
+double CapacitanceModel::gate_cap_max() const {
+  return params_.cox_area * w_ * params_.l_drawn;
+}
+
+double CapacitanceModel::gate_cap(double v) const {
+  const double cmax = gate_cap_max();
+  const double floor_frac = params_.cg_floor_frac;
+  // Logistic rise from floor_frac*Cox to Cox centred on vt0.
+  const double x = (v - params_.vt0) / params_.cg_sigma;
+  const double s = 1.0 / (1.0 + std::exp(-x));
+  return cmax * (floor_frac + (1.0 - floor_frac) * s);
+}
+
+double CapacitanceModel::gate_cap_effective(double vdd) const {
+  if (vdd <= 0.0) return gate_cap(0.0);
+  const double q = lv::util::integrate_trapezoid(
+      [this](double v) { return gate_cap(v); }, 0.0, vdd, 128);
+  return q / vdd;
+}
+
+double CapacitanceModel::gate_charge_energy(double vdd) const {
+  if (vdd <= 0.0) return 0.0;
+  // Energy drawn from the supply when charging through a PMOS is
+  // Q * vdd = vdd * integral C(v) dv; the capacitor stores
+  // integral C(v) v dv. We report the supply energy (what a power
+  // estimator bills per transition), consistent with C_eff * vdd^2.
+  return gate_cap_effective(vdd) * vdd * vdd;
+}
+
+double CapacitanceModel::junction_cap(double vr) const {
+  const double area = w_ * params_.drain_extent;
+  const double c0 = params_.cj0_area * area;
+  return c0 / std::pow(1.0 + std::max(0.0, vr) / params_.phi_b, params_.mj);
+}
+
+double CapacitanceModel::junction_cap_effective(double vdd) const {
+  if (vdd <= 0.0) return junction_cap(0.0);
+  const double q = lv::util::integrate_trapezoid(
+      [this](double v) { return junction_cap(v); }, 0.0, vdd, 64);
+  return q / vdd;
+}
+
+double CapacitanceModel::overlap_cap() const {
+  return 2.0 * params_.c_overlap_w * w_;  // source + drain overlap
+}
+
+double CapacitanceModel::input_cap_effective(double vdd) const {
+  return gate_cap_effective(vdd) + overlap_cap();
+}
+
+double CapacitanceModel::drive_parasitic_effective(double vdd) const {
+  return junction_cap_effective(vdd) + overlap_cap();
+}
+
+}  // namespace lv::device

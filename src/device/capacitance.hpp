@@ -1,0 +1,62 @@
+// Voltage-dependent capacitance models (paper Section 2, Fig. 1).
+//
+// The paper's Fig. 1 shows that the *switched* capacitance of a register
+// rises with V_DD because the MOS gate capacitance is non-linear: while the
+// channel is in depletion the oxide cap appears in series with the
+// depletion cap (low C); once the surface inverts, C approaches Cox.
+// Fig. 1's takeaway — "capacitive non-linearities must be modelled for
+// accurate power estimation" — is realized here as C(V) curves plus the
+// energy integral E = integral of C(v) * v dv over the swing.
+#pragma once
+
+#include "device/params.hpp"
+
+namespace lv::device {
+
+class CapacitanceModel {
+ public:
+  // Builds the model for a device of width `w` [m] described by `params`.
+  CapacitanceModel(MosfetParams params, double w);
+
+  // Oxide (maximum) gate capacitance [F]: Cox * W * L.
+  double gate_cap_max() const;
+
+  // Instantaneous gate capacitance [F] at gate voltage `v` (relative to
+  // source/body). Logistic transition from the depletion floor to Cox
+  // centred on the threshold voltage.
+  double gate_cap(double v) const;
+
+  // Average (effective) gate capacitance [F] over a 0 -> vdd swing:
+  // Ceff = (1/vdd) * integral_0^vdd C(v) dv. This is the quantity whose
+  // V_DD dependence Fig. 1 plots.
+  double gate_cap_effective(double vdd) const;
+
+  // Energy drawn from the supply to charge the gate through a full swing
+  // [J]: integral_0^vdd C(v) * v dv * (vdd/..) — reported as the exact
+  // integral; for a linear cap this reduces to (1/2) C vdd^2.
+  double gate_charge_energy(double vdd) const;
+
+  // Drain/source junction capacitance [F] at reverse bias `vr` >= 0:
+  // Cj0 * A / (1 + vr/phi_b)^mj with A = W * drain_extent.
+  double junction_cap(double vr) const;
+
+  // Average junction capacitance over a 0 -> vdd reverse-bias swing [F].
+  double junction_cap_effective(double vdd) const;
+
+  // Gate-drain + gate-source overlap capacitance [F] (bias independent).
+  double overlap_cap() const;
+
+  // Total effective load one such device presents as a *fanout gate* at
+  // supply vdd [F]: effective gate cap + overlap.
+  double input_cap_effective(double vdd) const;
+
+  // Total effective parasitic a device contributes to the net it *drives*
+  // at supply vdd [F]: junction + overlap.
+  double drive_parasitic_effective(double vdd) const;
+
+ private:
+  MosfetParams params_;
+  double w_;
+};
+
+}  // namespace lv::device

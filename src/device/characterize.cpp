@@ -1,0 +1,114 @@
+#include "device/characterize.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lv::device {
+
+namespace u = lv::util;
+
+std::vector<IvPoint> sweep_id_vgs(const Mosfet& device, double vds,
+                                  double vgs_lo, double vgs_hi, int points,
+                                  double temp_k) {
+  u::require(points >= 2, "sweep_id_vgs: need >= 2 points");
+  std::vector<IvPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (const double vgs :
+       u::linspace(vgs_lo, vgs_hi, static_cast<std::size_t>(points)))
+    out.push_back({vgs, device.drain_current(vgs, vds, 0.0, temp_k)});
+  return out;
+}
+
+std::vector<IvPoint> sweep_id_vds(const Mosfet& device, double vgs,
+                                  double vds_lo, double vds_hi, int points,
+                                  double temp_k) {
+  u::require(points >= 2, "sweep_id_vds: need >= 2 points");
+  std::vector<IvPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (const double vds :
+       u::linspace(vds_lo, vds_hi, static_cast<std::size_t>(points)))
+    out.push_back({vds, device.drain_current(vgs, vds, 0.0, temp_k)});
+  return out;
+}
+
+namespace {
+
+// Least-squares slope of y over x.
+double regression_slope(const std::vector<double>& xs,
+                        const std::vector<double>& ys) {
+  u::require(xs.size() == ys.size() && xs.size() >= 2,
+             "regression_slope: need >= 2 matched samples");
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  u::require(std::abs(denom) > 1e-30, "regression_slope: degenerate x");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace
+
+ExtractionResult extract_parameters(const std::vector<IvPoint>& sweep,
+                                    double wl_ratio, double i_threshold) {
+  ExtractionResult result;
+  if (sweep.size() < 8 || wl_ratio <= 0.0) return result;
+
+  // --- V_T by constant current: first crossing of i_threshold * W/L ---
+  const double i_cross = i_threshold * wl_ratio;
+  double vt = 0.0;
+  bool found = false;
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    if (sweep[i - 1].id < i_cross && sweep[i].id >= i_cross) {
+      // log-linear interpolation between the bracketing samples.
+      const double l0 = std::log(sweep[i - 1].id);
+      const double l1 = std::log(sweep[i].id);
+      const double t = (std::log(i_cross) - l0) / (l1 - l0);
+      vt = sweep[i - 1].vgs + t * (sweep[i].vgs - sweep[i - 1].vgs);
+      found = true;
+      break;
+    }
+  }
+  if (!found) return result;
+  result.vt_constant_current = vt;
+
+  // --- S_th: regression of log10(I) over the decade below V_T ---
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const auto& pt : sweep) {
+    if (pt.vgs < vt - 0.25 || pt.vgs > vt - 0.02) continue;
+    if (pt.id <= 0.0) continue;
+    xs.push_back(pt.vgs);
+    ys.push_back(std::log10(pt.id));
+  }
+  if (xs.size() >= 3) {
+    const double decades_per_volt = regression_slope(xs, ys);
+    if (decades_per_volt > 0.0)
+      result.subthreshold_slope = 1.0 / decades_per_volt;
+  }
+
+  // --- alpha: log(I) vs log(V_gs - V_T) well above threshold ---
+  xs.clear();
+  ys.clear();
+  for (const auto& pt : sweep) {
+    const double ov = pt.vgs - vt;
+    if (ov < 0.15 || pt.id <= 0.0) continue;
+    xs.push_back(std::log(ov));
+    ys.push_back(std::log(pt.id));
+  }
+  if (xs.size() >= 3) result.alpha = regression_slope(xs, ys);
+
+  result.valid = result.subthreshold_slope > 0.0 && result.alpha > 0.0;
+  return result;
+}
+
+}  // namespace lv::device

@@ -1,0 +1,53 @@
+// Device characterization: simulated I-V sweeps and parameter extraction.
+//
+// The paper's Figs. 2 and 6 are exactly such sweeps on measured hardware;
+// this module generates them from the compact model and — more usefully —
+// runs the *extraction* direction: given sweep data (from this model or
+// imported measurements), recover V_T (constant-current method), the
+// sub-threshold slope (log-linear regression below threshold), and the
+// alpha-power exponent (log-log regression above threshold). Extraction
+// closing the loop on the model's own parameters is both a strong model
+// test and the calibration path for users fitting their own technology.
+#pragma once
+
+#include <vector>
+
+#include "device/mosfet.hpp"
+
+namespace lv::device {
+
+struct IvPoint {
+  double vgs = 0.0;
+  double id = 0.0;
+};
+
+// I_D(V_gs) sweep at fixed V_ds.
+std::vector<IvPoint> sweep_id_vgs(const Mosfet& device, double vds,
+                                  double vgs_lo, double vgs_hi, int points,
+                                  double temp_k = 300.0);
+
+// I_D(V_ds) sweep at fixed V_gs (output characteristics).
+std::vector<IvPoint> sweep_id_vds(const Mosfet& device, double vgs,
+                                  double vds_lo, double vds_hi, int points,
+                                  double temp_k = 300.0);
+
+struct ExtractionResult {
+  double vt_constant_current = 0.0;  // [V]
+  double subthreshold_slope = 0.0;   // [V/decade]
+  double alpha = 0.0;                // velocity-saturation exponent
+  bool valid = false;
+};
+
+// Extracts parameters from an I_D(V_gs) sweep (saturation region,
+// V_ds >> V_t assumed):
+//  * V_T: gate voltage where I_D crosses `i_threshold` x (W/L)
+//    (constant-current method; default 4e-7 A matches the model's own
+//    convention so round-trips are exact);
+//  * S_th: least-squares slope of log10(I_D) over the decade below V_T;
+//  * alpha: least-squares slope of log(I_D) vs log(V_gs - V_T) well above
+//    threshold.
+ExtractionResult extract_parameters(const std::vector<IvPoint>& sweep,
+                                    double wl_ratio,
+                                    double i_threshold = 4.0e-7);
+
+}  // namespace lv::device

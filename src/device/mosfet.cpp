@@ -1,0 +1,76 @@
+#include "device/mosfet.hpp"
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace lv::device {
+
+namespace u = lv::util;
+
+Mosfet::Mosfet(MosfetParams params, double w, double vt_shift)
+    : params_{params}, w_{w}, vt_shift_{vt_shift} {
+  params_.validate();
+  u::require(w > 0.0, "Mosfet: width must be > 0");
+}
+
+double Mosfet::threshold(double vsb, double vds, double temp_k) const {
+  const double body = params_.gamma * (std::sqrt(params_.phi2f + std::max(0.0, vsb)) -
+                                       std::sqrt(params_.phi2f));
+  const double dibl = -params_.dibl * vds;
+  const double temp = -params_.vt_tempco * (temp_k - u::room_temperature_k);
+  return params_.vt0 + vt_shift_ + body + dibl + temp;
+}
+
+double Mosfet::subthreshold_slope(double temp_k) const {
+  return params_.n_sub * u::thermal_voltage(temp_k) * u::ln10;
+}
+
+double Mosfet::subthreshold_current(double vgs, double vds, double vsb,
+                                    double temp_k) const {
+  const double vt_th = u::thermal_voltage(temp_k);
+  const double vt = threshold(vsb, vds, temp_k);
+  // Cap the exponent at the threshold point: above VT the diffusion
+  // current saturates and drift (strong inversion) takes over.
+  const double overdrive = std::min(vgs - vt, 0.0);
+  const double exp_term = std::exp(overdrive / (params_.n_sub * vt_th));
+  const double drain_term = 1.0 - std::exp(-std::max(0.0, vds) / vt_th);
+  return params_.i_at_vt * wl_ratio() * exp_term * drain_term;
+}
+
+double Mosfet::vdsat(double vgs, double vsb, double vds, double temp_k) const {
+  const double ov = vgs - threshold(vsb, vds, temp_k);
+  if (ov <= 0.0) return 0.0;
+  return params_.kv * std::pow(ov, params_.alpha / 2.0);
+}
+
+double Mosfet::strong_inversion_current(double vgs, double vds, double vsb,
+                                        double temp_k) const {
+  const double ov = vgs - threshold(vsb, vds, temp_k);
+  if (ov <= 0.0 || vds <= 0.0) return 0.0;
+  const double idsat = params_.k_drive * wl_ratio() * std::pow(ov, params_.alpha);
+  const double vsat = params_.kv * std::pow(ov, params_.alpha / 2.0);
+  if (vds >= vsat) return idsat;
+  const double x = vds / vsat;
+  return idsat * x * (2.0 - x);  // parabolic triode region
+}
+
+double Mosfet::drain_current(double vgs, double vds, double vsb,
+                             double temp_k) const {
+  return subthreshold_current(vgs, vds, vsb, temp_k) +
+         strong_inversion_current(vgs, vds, vsb, temp_k);
+}
+
+double Mosfet::off_current(double vdd, double vsb, double temp_k) const {
+  return drain_current(0.0, vdd, vsb, temp_k);
+}
+
+double Mosfet::on_current(double vdd, double vsb, double temp_k) const {
+  return drain_current(vdd, vdd, vsb, temp_k);
+}
+
+Mosfet Mosfet::with_vt_shift(double extra_shift) const {
+  return Mosfet{params_, w_, vt_shift_ + extra_shift};
+}
+
+}  // namespace lv::device

@@ -1,0 +1,76 @@
+// Unified MOSFET I-V model.
+//
+// Regions:
+//  * sub-threshold (paper Eq. 2):
+//      I = I0 * (W/L) * exp((Vgs - VT) / (n Vt)) * (1 - exp(-Vds / Vt))
+//    For Vds >> Vt the drain dependence vanishes, exactly as Section 2
+//    notes ("independent of Vds for Vds larger than ~0.1 V").
+//  * strong inversion: Sakurai-Newton alpha-power law with a parabolic
+//    triode region below Vdsat.
+// The total drain current is the sum of the two components, which is
+// continuous and strictly increasing in Vgs; in strong inversion the
+// (saturated) sub-threshold term is a sub-percent correction.
+//
+// All voltages use the "magnitude convention": callers pass positive Vgs /
+// Vds / Vsb magnitudes for both polarities; polarity only affects the
+// default parameter set chosen by the technology layer.
+#pragma once
+
+#include "device/params.hpp"
+
+namespace lv::device {
+
+class Mosfet {
+ public:
+  // Constructs a device of drawn width `w` [m]; length is params.l_drawn.
+  // An optional threshold shift (SOIAS back gate, body bias, dual-VT
+  // flavor) is applied additively to vt0.
+  Mosfet(MosfetParams params, double w, double vt_shift = 0.0);
+
+  const MosfetParams& params() const { return params_; }
+  double width() const { return w_; }
+  double length() const { return params_.l_drawn; }
+  double wl_ratio() const { return w_ / params_.l_drawn; }
+  double vt_shift() const { return vt_shift_; }
+
+  // Threshold voltage [V] including body effect, DIBL, temperature, and
+  // the static shift.
+  double threshold(double vsb = 0.0, double vds = 0.0,
+                   double temp_k = 300.0) const;
+
+  // Sub-threshold slope [V/decade] at `temp_k` (n * Vt * ln 10).
+  double subthreshold_slope(double temp_k = 300.0) const;
+
+  // Sub-threshold component only [A] (paper Eq. 2).
+  double subthreshold_current(double vgs, double vds, double vsb = 0.0,
+                              double temp_k = 300.0) const;
+
+  // Strong-inversion component only [A] (alpha-power law; 0 below VT).
+  double strong_inversion_current(double vgs, double vds, double vsb = 0.0,
+                                  double temp_k = 300.0) const;
+
+  // Total drain current [A] = sub-threshold + strong inversion.
+  double drain_current(double vgs, double vds, double vsb = 0.0,
+                       double temp_k = 300.0) const;
+
+  // Convenience: Ioff = I(Vgs=0, Vds=vdd); Ion = I(Vgs=vdd, Vds=vdd).
+  double off_current(double vdd, double vsb = 0.0,
+                     double temp_k = 300.0) const;
+  double on_current(double vdd, double vsb = 0.0,
+                    double temp_k = 300.0) const;
+
+  // Saturation drain voltage [V] for the given overdrive.
+  double vdsat(double vgs, double vsb = 0.0, double vds = 0.0,
+               double temp_k = 300.0) const;
+
+  // Returns a copy with an additional threshold shift (used by the SOIAS
+  // model and body-bias standby modes).
+  Mosfet with_vt_shift(double extra_shift) const;
+
+ private:
+  MosfetParams params_;
+  double w_;
+  double vt_shift_;
+};
+
+}  // namespace lv::device

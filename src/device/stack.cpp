@@ -1,0 +1,61 @@
+#include "device/stack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/numeric.hpp"
+
+namespace lv::device {
+
+StackLeakageResult stack_leakage(const Mosfet& top, const Mosfet& bottom,
+                                 double vdd, double temp_k) {
+  // Balance: I_top(Vgs=-Vx, Vds=vdd-Vx) == I_bottom(Vgs=0, Vds=Vx).
+  // The top device's source is the intermediate node at Vx, so its
+  // gate-source voltage is -Vx and its body-source (bulk tied to ground)
+  // reverse bias is Vx, further raising its VT.
+  auto mismatch = [&](double vx) {
+    const double i_top = top.subthreshold_current(-vx, vdd - vx, vx, temp_k);
+    const double i_bot = bottom.subthreshold_current(0.0, vx, 0.0, temp_k);
+    return i_top - i_bot;
+  };
+  StackLeakageResult result;
+  const auto solved = lv::util::bisect(mismatch, 0.0, vdd, 1e-9);
+  if (!solved) {
+    // No crossing (degenerate widths): report the smaller single-device
+    // leakage as a conservative bound.
+    result.current = std::min(top.off_current(vdd, 0.0, temp_k),
+                              bottom.off_current(vdd, 0.0, temp_k));
+    result.intermediate_voltage = 0.0;
+    result.converged = false;
+    return result;
+  }
+  result.intermediate_voltage = solved->x;
+  result.current =
+      bottom.subthreshold_current(0.0, solved->x, 0.0, temp_k);
+  result.converged = solved->converged;
+  return result;
+}
+
+StackLeakageResult mtcmos_standby_leakage(const Mosfet& logic_equivalent,
+                                          const Mosfet& sleep_device,
+                                          double vdd, double temp_k) {
+  // Sleep device sits between the logic's virtual ground and true ground,
+  // so it is the bottom of the stack.
+  return stack_leakage(logic_equivalent, sleep_device, vdd, temp_k);
+}
+
+double mtcmos_delay_penalty(const Mosfet& sleep_device, double i_logic_on,
+                            double vdd, double temp_k) {
+  if (i_logic_on <= 0.0) return 1.0;
+  // Linear-region resistance of the ON sleep device around Vds ~ 0:
+  // R = Vds_small / I(vdd, Vds_small).
+  const double v_probe = 0.02;
+  const double i_probe = sleep_device.drain_current(vdd, v_probe, 0.0, temp_k);
+  if (i_probe <= 0.0) return 1e9;  // sleep device cannot conduct
+  const double r_sleep = v_probe / i_probe;
+  const double droop = i_logic_on * r_sleep / vdd;
+  if (droop >= 0.5) return 1e9;  // virtual rail collapse; unusable sizing
+  return 1.0 / (1.0 - 2.0 * droop);  // first-order delay magnification
+}
+
+}  // namespace lv::device

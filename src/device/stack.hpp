@@ -1,0 +1,45 @@
+// Series-stack leakage (the "stack effect") and MTCMOS sleep-device
+// analysis (paper Section 4: multiple-threshold process with high-VT
+// series switches gating low-VT logic).
+//
+// For two OFF devices in series the intermediate node floats to the
+// voltage Vx where the two sub-threshold currents match. The top device
+// then sees Vgs = -Vx (reverse bias) and reduced Vds, cutting the stack
+// leakage well below a single device's. We solve for Vx by bisection on
+// the current balance — the same computation an MTCMOS leakage estimator
+// performs.
+#pragma once
+
+#include "device/mosfet.hpp"
+
+namespace lv::device {
+
+struct StackLeakageResult {
+  double current = 0.0;            // stack leakage [A]
+  double intermediate_voltage = 0.0;  // solved internal node voltage [V]
+  bool converged = false;
+};
+
+// Leakage of two series NMOS devices, both with Vg = 0, across `vdd`.
+// `top` is the device connected to the output (drain at vdd), `bottom`
+// connects to ground. Either may have its own VT (e.g. a high-VT sleep
+// device under low-VT logic).
+StackLeakageResult stack_leakage(const Mosfet& top, const Mosfet& bottom,
+                                 double vdd, double temp_k = 300.0);
+
+// Standby leakage of an MTCMOS block: low-VT logic of total effective
+// width `logic_width` in series with an OFF high-VT sleep device of width
+// `sleep_width`. Models the logic as one equivalent low-VT device.
+StackLeakageResult mtcmos_standby_leakage(const Mosfet& logic_equivalent,
+                                          const Mosfet& sleep_device,
+                                          double vdd, double temp_k = 300.0);
+
+// Active-mode delay penalty factor (>= 1) an MTCMOS sleep device imposes:
+// the ON sleep transistor behaves as a virtual-rail resistor; the penalty
+// is modelled as 1 / (1 - i_logic_on * r_sleep / vdd) clamped at the point
+// the rail collapses. `i_logic_on` is the logic block's peak switching
+// current demand.
+double mtcmos_delay_penalty(const Mosfet& sleep_device, double i_logic_on,
+                            double vdd, double temp_k = 300.0);
+
+}  // namespace lv::device

@@ -1,0 +1,319 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "isa/isa.hpp"
+#include "util/error.hpp"
+
+namespace lv::isa {
+
+namespace u = lv::util;
+
+namespace {
+
+struct Line {
+  int number = 0;
+  std::string label;            // optional "name:" prefix
+  std::string op;               // mnemonic or directive (lowercase)
+  std::vector<std::string> args;  // comma-separated operands
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw u::Error("asm line " + std::to_string(line) + ": " + message);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out{s};
+  for (char& ch : out)
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::vector<Line> tokenize(std::string_view source) {
+  std::vector<Line> lines;
+  int number = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view raw = source.substr(
+        pos, eol == std::string_view::npos ? source.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++number;
+
+    const std::size_t cut = raw.find_first_of(";#");
+    if (cut != std::string_view::npos) raw = raw.substr(0, cut);
+    raw = trim(raw);
+    if (raw.empty()) continue;
+
+    Line line;
+    line.number = number;
+    const std::size_t colon = raw.find(':');
+    if (colon != std::string_view::npos &&
+        raw.substr(0, colon).find_first_of(" \t,(") == std::string_view::npos) {
+      line.label = std::string(trim(raw.substr(0, colon)));
+      raw = trim(raw.substr(colon + 1));
+    }
+    if (!raw.empty()) {
+      const std::size_t sp = raw.find_first_of(" \t");
+      line.op = to_lower(sp == std::string_view::npos ? raw : raw.substr(0, sp));
+      if (sp != std::string_view::npos) {
+        std::string_view rest = trim(raw.substr(sp));
+        while (!rest.empty()) {
+          const std::size_t comma = rest.find(',');
+          line.args.emplace_back(
+              trim(comma == std::string_view::npos ? rest
+                                                   : rest.substr(0, comma)));
+          if (comma == std::string_view::npos) break;
+          rest = trim(rest.substr(comma + 1));
+        }
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::uint8_t parse_register(const std::string& token, int line) {
+  const std::string t = to_lower(token);
+  if (t == "zero") return 0;
+  if (t == "ra") return 31;
+  if (t == "sp") return 30;
+  if (t.size() >= 2 && t[0] == 'r') {
+    int value = -1;
+    const auto result =
+        std::from_chars(t.data() + 1, t.data() + t.size(), value);
+    if (result.ec == std::errc{} && result.ptr == t.data() + t.size() &&
+        value >= 0 && value < kRegisterCount)
+      return static_cast<std::uint8_t>(value);
+  }
+  fail(line, "bad register '" + token + "'");
+}
+
+bool parse_integer(const std::string& token, std::int64_t& out) {
+  std::string_view s{token};
+  bool negative = false;
+  if (!s.empty() && (s.front() == '-' || s.front() == '+')) {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+  }
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  }
+  std::uint64_t magnitude = 0;
+  const auto result =
+      std::from_chars(s.data(), s.data() + s.size(), magnitude, base);
+  if (result.ec != std::errc{} || result.ptr != s.data() + s.size() ||
+      s.empty())
+    return false;
+  out = negative ? -static_cast<std::int64_t>(magnitude)
+                 : static_cast<std::int64_t>(magnitude);
+  return true;
+}
+
+// Splits "imm(rN)" into offset and register.
+void parse_mem_operand(const std::string& token, int line, std::int64_t& imm,
+                       std::uint8_t& base_reg) {
+  const std::size_t open = token.find('(');
+  const std::size_t close = token.find(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    fail(line, "expected imm(reg), got '" + token + "'");
+  const std::string imm_str{trim(std::string_view(token).substr(0, open))};
+  if (imm_str.empty()) {
+    imm = 0;
+  } else if (!parse_integer(imm_str, imm)) {
+    fail(line, "bad offset '" + imm_str + "'");
+  }
+  base_reg = parse_register(
+      std::string(trim(std::string_view(token).substr(open + 1,
+                                                      close - open - 1))),
+      line);
+}
+
+// Words a statement will occupy (pass 1). Pseudo `li` is always 2.
+std::size_t words_for(const Line& line) {
+  if (line.op.empty()) return 0;
+  if (line.op == ".word") return line.args.size();
+  if (line.op == ".space") {
+    std::int64_t n = 0;
+    if (!parse_integer(line.args.empty() ? "" : line.args[0], n) || n < 0)
+      fail(line.number, ".space needs a non-negative count");
+    return static_cast<std::size_t>(n);
+  }
+  if (line.op == "li") return 2;
+  return 1;
+}
+
+}  // namespace
+
+std::uint32_t Program::label(const std::string& name) const {
+  const auto it = labels.find(name);
+  u::require(it != labels.end(), "Program: unknown label '" + name + "'");
+  return it->second;
+}
+
+Program assemble(std::string_view source) {
+  const auto lines = tokenize(source);
+
+  // Pass 1: label addresses.
+  Program prog;
+  std::uint32_t address = 0;
+  for (const Line& line : lines) {
+    if (!line.label.empty()) {
+      if (prog.labels.count(line.label) != 0)
+        fail(line.number, "duplicate label '" + line.label + "'");
+      prog.labels[line.label] = address;
+    }
+    address += static_cast<std::uint32_t>(words_for(line)) * 4;
+  }
+
+  auto resolve = [&](const std::string& token, int line_no) -> std::int64_t {
+    std::int64_t value = 0;
+    if (parse_integer(token, value)) return value;
+    const auto it = prog.labels.find(token);
+    if (it == prog.labels.end())
+      fail(line_no, "unknown label or bad number '" + token + "'");
+    return it->second;
+  };
+
+  // Pass 2: encode.
+  address = 0;
+  auto emit = [&](const Instruction& in) {
+    prog.words.push_back(encode(in));
+    address += 4;
+  };
+  auto expect_args = [&](const Line& line, std::size_t n) {
+    if (line.args.size() != n)
+      fail(line.number, "'" + line.op + "' expects " + std::to_string(n) +
+                            " operand(s)");
+  };
+
+  for (const Line& line : lines) {
+    if (line.op.empty()) continue;
+
+    if (line.op == ".word") {
+      for (const auto& arg : line.args) {
+        const std::int64_t v = resolve(arg, line.number);
+        prog.words.push_back(static_cast<std::uint32_t>(v));
+        address += 4;
+      }
+      continue;
+    }
+    if (line.op == ".space") {
+      const std::size_t n = words_for(line);
+      prog.words.insert(prog.words.end(), n, 0u);
+      address += static_cast<std::uint32_t>(n) * 4;
+      continue;
+    }
+    if (line.op == "li") {
+      expect_args(line, 2);
+      const auto rd = parse_register(line.args[0], line.number);
+      const auto value =
+          static_cast<std::uint32_t>(resolve(line.args[1], line.number));
+      emit({Opcode::lui, rd, 0, 0, static_cast<std::int32_t>(value >> 16)});
+      emit({Opcode::ori, rd, rd, 0,
+            static_cast<std::int32_t>(value & 0xffffu)});
+      continue;
+    }
+    if (line.op == "move") {
+      expect_args(line, 2);
+      emit({Opcode::add, parse_register(line.args[0], line.number),
+            parse_register(line.args[1], line.number), 0, 0});
+      continue;
+    }
+    if (line.op == "j") {
+      expect_args(line, 1);
+      const std::int64_t target = resolve(line.args[0], line.number);
+      const std::int64_t offset = (target - (address + 4)) / 4;
+      emit({Opcode::jal, 0, 0, 0, static_cast<std::int32_t>(offset)});
+      continue;
+    }
+
+    const auto opcode = opcode_from_mnemonic(line.op);
+    if (!opcode) fail(line.number, "unknown mnemonic '" + line.op + "'");
+    Instruction in;
+    in.opcode = *opcode;
+
+    switch (*opcode) {
+      case Opcode::halt:
+      case Opcode::nop:
+        expect_args(line, 0);
+        break;
+      case Opcode::lui: {
+        expect_args(line, 2);
+        in.rd = parse_register(line.args[0], line.number);
+        in.imm = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(resolve(line.args[1], line.number)) &
+            0xffffu);
+        break;
+      }
+      case Opcode::lw: {
+        expect_args(line, 2);
+        in.rd = parse_register(line.args[0], line.number);
+        std::int64_t imm = 0;
+        parse_mem_operand(line.args[1], line.number, imm, in.rs1);
+        in.imm = static_cast<std::int32_t>(imm);
+        break;
+      }
+      case Opcode::sw: {
+        expect_args(line, 2);
+        in.rs2 = parse_register(line.args[0], line.number);  // data
+        std::int64_t imm = 0;
+        parse_mem_operand(line.args[1], line.number, imm, in.rs1);  // base
+        in.imm = static_cast<std::int32_t>(imm);
+        break;
+      }
+      case Opcode::jal: {
+        expect_args(line, 2);
+        in.rd = parse_register(line.args[0], line.number);
+        const std::int64_t target = resolve(line.args[1], line.number);
+        in.imm = static_cast<std::int32_t>((target - (address + 4)) / 4);
+        break;
+      }
+      case Opcode::jalr: {
+        expect_args(line, 3);
+        in.rd = parse_register(line.args[0], line.number);
+        in.rs1 = parse_register(line.args[1], line.number);
+        in.imm = static_cast<std::int32_t>(resolve(line.args[2], line.number));
+        break;
+      }
+      default:
+        if (is_branch(*opcode)) {
+          expect_args(line, 3);
+          in.rs1 = parse_register(line.args[0], line.number);
+          in.rs2 = parse_register(line.args[1], line.number);
+          const std::int64_t target = resolve(line.args[2], line.number);
+          in.imm = static_cast<std::int32_t>((target - (address + 4)) / 4);
+        } else if (is_r_type(*opcode)) {
+          expect_args(line, 3);
+          in.rd = parse_register(line.args[0], line.number);
+          in.rs1 = parse_register(line.args[1], line.number);
+          in.rs2 = parse_register(line.args[2], line.number);
+        } else {  // I-type ALU
+          expect_args(line, 3);
+          in.rd = parse_register(line.args[0], line.number);
+          in.rs1 = parse_register(line.args[1], line.number);
+          const std::int64_t v = resolve(line.args[2], line.number);
+          // Signed ops take [-32768, 32767]; logical ops zero-extend and
+          // accept up to 0xffff (mirrors encode()'s range).
+          if (v < -32768 || v > 65535)
+            fail(line.number, "immediate out of range");
+          in.imm = static_cast<std::int32_t>(v);
+        }
+    }
+    emit(in);
+  }
+  return prog;
+}
+
+}  // namespace lv::isa

@@ -1,0 +1,40 @@
+// Two-pass LVR32 assembler.
+//
+// Syntax (one statement per line; ';' or '#' comments):
+//
+//     start:  addi r1, r0, 10      ; immediates: decimal or 0x hex
+//             lw   r2, 8(r3)
+//             sw   r2, 8(r3)
+//             beq  r1, r2, done    ; branch targets are labels
+//             jal  ra, subroutine
+//     done:   halt
+//     table:  .word 1, 2, 0xdead
+//             .space 16            ; 16 zero words
+//
+// Pseudo-instructions: li rX, imm32 (lui+ori, always 2 words),
+// move rX, rY (add rX, rY, r0), j label (jal r0, label).
+// Register aliases: zero = r0, ra = r31, sp = r30.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lv::isa {
+
+struct Program {
+  std::vector<std::uint32_t> words;          // code + data image, base 0
+  std::map<std::string, std::uint32_t> labels;  // label -> byte address
+
+  // Byte address of a label; throws lv::util::Error when missing.
+  std::uint32_t label(const std::string& name) const;
+};
+
+// Assembles source text; throws lv::util::Error with a line number on any
+// syntax error, unknown mnemonic/register, duplicate or missing label, or
+// out-of-range immediate.
+Program assemble(std::string_view source);
+
+}  // namespace lv::isa

@@ -1,0 +1,151 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace lv::isa {
+
+namespace {
+
+constexpr std::size_t kCount = static_cast<std::size_t>(Opcode::opcode_count);
+
+constexpr std::array<const char*, kCount> kMnemonics{
+    "add",  "sub",  "and",  "or",   "xor",  "slt",  "sltu", "sll",
+    "srl",  "sra",  "mul",  "mulhu","addi", "andi", "ori",  "xori",
+    "slti", "slli", "srli", "srai", "lui",  "lw",   "sw",   "beq",
+    "bne",  "blt",  "bge",  "bltu", "bgeu", "jal",  "jalr", "halt",
+    "nop"};
+
+std::int32_t sign_extend16(std::uint32_t v) {
+  return static_cast<std::int32_t>(static_cast<std::int16_t>(v & 0xffffu));
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& in) {
+  lv::util::require(static_cast<std::size_t>(in.opcode) < kCount,
+                    "encode: invalid opcode");
+  lv::util::require(in.rd < kRegisterCount && in.rs1 < kRegisterCount &&
+                        in.rs2 < kRegisterCount,
+                    "encode: register out of range");
+  // Branches and stores have two sources and no destination; they reuse
+  // the rd slot for rs1 and the rs1 slot for rs2 (decode inverts this).
+  std::uint8_t rd_slot = in.rd;
+  std::uint8_t rs1_slot = in.rs1;
+  if (is_branch(in.opcode) || in.opcode == Opcode::sw) {
+    rd_slot = in.rs1;
+    rs1_slot = in.rs2;
+  }
+  std::uint32_t w = static_cast<std::uint32_t>(in.opcode) << 26;
+  w |= static_cast<std::uint32_t>(rd_slot) << 21;
+  w |= static_cast<std::uint32_t>(rs1_slot) << 16;
+  if (is_r_type(in.opcode)) {
+    w |= static_cast<std::uint32_t>(in.rs2) << 11;
+  } else {
+    lv::util::require(in.imm >= -32768 && in.imm <= 65535,
+                      "encode: immediate out of 16-bit range");
+    w |= static_cast<std::uint32_t>(in.imm) & 0xffffu;
+  }
+  return w;
+}
+
+Instruction decode(std::uint32_t word) {
+  Instruction in;
+  const auto op = word >> 26;
+  lv::util::require(op < kCount, "decode: invalid opcode field");
+  in.opcode = static_cast<Opcode>(op);
+  in.rd = static_cast<std::uint8_t>((word >> 21) & 31);
+  in.rs1 = static_cast<std::uint8_t>((word >> 16) & 31);
+  if (is_r_type(in.opcode)) {
+    in.rs2 = static_cast<std::uint8_t>((word >> 11) & 31);
+  } else if (in.opcode == Opcode::lui) {
+    in.imm = static_cast<std::int32_t>(word & 0xffffu);  // zero-extended
+  } else {
+    in.imm = sign_extend16(word);
+  }
+  // Branch/store encodings reuse the rd slot for their first source.
+  if (is_branch(in.opcode) || in.opcode == Opcode::sw) {
+    in.rs2 = in.rs1;
+    in.rs1 = in.rd;
+    in.rd = 0;
+  }
+  return in;
+}
+
+const char* mnemonic(Opcode opcode) {
+  const auto idx = static_cast<std::size_t>(opcode);
+  lv::util::require(idx < kCount, "mnemonic: invalid opcode");
+  return kMnemonics[idx];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(const std::string& name) {
+  for (std::size_t i = 0; i < kCount; ++i)
+    if (name == kMnemonics[i]) return static_cast<Opcode>(i);
+  return std::nullopt;
+}
+
+bool is_branch(Opcode op) {
+  return op == Opcode::beq || op == Opcode::bne || op == Opcode::blt ||
+         op == Opcode::bge || op == Opcode::bltu || op == Opcode::bgeu;
+}
+
+bool is_memory(Opcode op) { return op == Opcode::lw || op == Opcode::sw; }
+
+bool is_r_type(Opcode op) {
+  switch (op) {
+    case Opcode::add: case Opcode::sub: case Opcode::and_: case Opcode::or_:
+    case Opcode::xor_: case Opcode::slt: case Opcode::sltu: case Opcode::sll:
+    case Opcode::srl: case Opcode::sra: case Opcode::mul: case Opcode::mulhu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_immediate(Opcode op) {
+  return !is_r_type(op) && op != Opcode::halt && op != Opcode::nop;
+}
+
+std::string to_string(const Instruction& in) {
+  char buf[64];
+  const char* m = mnemonic(in.opcode);
+  switch (in.opcode) {
+    case Opcode::halt:
+    case Opcode::nop:
+      return m;
+    case Opcode::lui:
+      std::snprintf(buf, sizeof buf, "%s r%d, %d", m, in.rd, in.imm);
+      break;
+    case Opcode::lw:
+      std::snprintf(buf, sizeof buf, "%s r%d, %d(r%d)", m, in.rd, in.imm,
+                    in.rs1);
+      break;
+    case Opcode::sw:
+      std::snprintf(buf, sizeof buf, "%s r%d, %d(r%d)", m, in.rs2, in.imm,
+                    in.rs1);
+      break;
+    case Opcode::jal:
+      std::snprintf(buf, sizeof buf, "%s r%d, %d", m, in.rd, in.imm);
+      break;
+    case Opcode::jalr:
+      std::snprintf(buf, sizeof buf, "%s r%d, r%d, %d", m, in.rd, in.rs1,
+                    in.imm);
+      break;
+    default:
+      if (is_branch(in.opcode)) {
+        std::snprintf(buf, sizeof buf, "%s r%d, r%d, %d", m, in.rs1, in.rs2,
+                      in.imm);
+      } else if (is_r_type(in.opcode)) {
+        std::snprintf(buf, sizeof buf, "%s r%d, r%d, r%d", m, in.rd, in.rs1,
+                      in.rs2);
+      } else {
+        std::snprintf(buf, sizeof buf, "%s r%d, r%d, %d", m, in.rd, in.rs1,
+                      in.imm);
+      }
+  }
+  return buf;
+}
+
+}  // namespace lv::isa

@@ -1,0 +1,69 @@
+// LVR32: a small 32-bit RISC ISA.
+//
+// This is the substrate for the paper's Section 5.3 architectural
+// profiling. The paper instruments DEC Alpha binaries with Pixie/ATOM to
+// count, per functional block, how often and in what bursts each block is
+// used. We reproduce the tool chain on LVR32: programs are assembled and
+// executed on the Machine (isa/machine.hpp), execution observers see every
+// retired instruction (the ATOM hook), and lv_profile maps opcodes to
+// functional units to produce fga/bga.
+//
+// 32 registers (r0 hardwired to zero), word-addressed loads/stores,
+// 16-bit immediates, PC-relative branches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lv::isa {
+
+enum class Opcode : std::uint8_t {
+  // R-type: rd = rs1 op rs2
+  add, sub, and_, or_, xor_, slt, sltu, sll, srl, sra, mul, mulhu,
+  // I-type: rd = rs1 op imm16 (sign-extended; shifts use imm & 31)
+  addi, andi, ori, xori, slti, slli, srli, srai,
+  // lui: rd = imm16 << 16
+  lui,
+  // Memory: lw rd, imm(rs1); sw rs2, imm(rs1) (byte addresses, word
+  // aligned)
+  lw, sw,
+  // Branches: pc-relative signed word offset in imm16
+  beq, bne, blt, bge, bltu, bgeu,
+  // jal rd, offset (pc-relative); jalr rd, rs1, imm
+  jal, jalr,
+  // System
+  halt, nop,
+  opcode_count
+};
+
+inline constexpr int kRegisterCount = 32;
+
+struct Instruction {
+  Opcode opcode = Opcode::nop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;  // sign-extended 16-bit payload
+};
+
+// Binary encoding: [31:26] opcode, [25:21] rd, [20:16] rs1, [15:11] rs2
+// (R-type) or [15:0] imm16 (I-type and control flow). sw places rs2 in the
+// rd slot.
+std::uint32_t encode(const Instruction& instruction);
+Instruction decode(std::uint32_t word);
+
+const char* mnemonic(Opcode opcode);
+// Returns opcode_count-sized sentinel when the mnemonic is unknown.
+std::optional<Opcode> opcode_from_mnemonic(const std::string& name);
+
+// Human-readable rendering ("add r3, r1, r2" / "lw r5, 16(r2)" ...).
+std::string to_string(const Instruction& instruction);
+
+// Classification helpers used by the profiler and tests.
+bool is_branch(Opcode opcode);
+bool is_memory(Opcode opcode);
+bool uses_immediate(Opcode opcode);
+bool is_r_type(Opcode opcode);
+
+}  // namespace lv::isa

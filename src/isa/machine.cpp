@@ -1,0 +1,155 @@
+#include "isa/machine.hpp"
+
+#include "util/error.hpp"
+
+namespace lv::isa {
+
+namespace u = lv::util;
+
+Machine::Machine(std::size_t memory_words) : memory_(memory_words, 0) {
+  u::require(memory_words >= 16, "Machine: memory too small");
+}
+
+void Machine::load(const std::vector<std::uint32_t>& words,
+                   std::uint32_t base) {
+  u::require(base % 4 == 0, "Machine::load: base must be word aligned");
+  const std::size_t w0 = base / 4;
+  u::require(w0 + words.size() <= memory_.size(),
+             "Machine::load: program does not fit");
+  for (std::size_t i = 0; i < words.size(); ++i) memory_[w0 + i] = words[i];
+}
+
+void Machine::set_pc(std::uint32_t byte_address) {
+  u::require(byte_address % 4 == 0, "Machine: pc must be word aligned");
+  pc_ = byte_address;
+  halted_ = false;
+}
+
+std::uint32_t Machine::reg(int index) const {
+  u::require(index >= 0 && index < kRegisterCount, "Machine: bad register");
+  return index == 0 ? 0u : regs_[index];
+}
+
+void Machine::set_reg(int index, std::uint32_t value) {
+  u::require(index >= 0 && index < kRegisterCount, "Machine: bad register");
+  if (index != 0) regs_[index] = value;
+}
+
+std::uint32_t Machine::load_word(std::uint32_t byte_address) const {
+  u::require(byte_address % 4 == 0, "Machine: unaligned load");
+  const std::size_t w = byte_address / 4;
+  u::require(w < memory_.size(), "Machine: load out of bounds");
+  return memory_[w];
+}
+
+void Machine::store_word(std::uint32_t byte_address, std::uint32_t value) {
+  u::require(byte_address % 4 == 0, "Machine: unaligned store");
+  const std::size_t w = byte_address / 4;
+  u::require(w < memory_.size(), "Machine: store out of bounds");
+  memory_[w] = value;
+}
+
+void Machine::add_observer(ExecutionObserver* observer) {
+  u::require(observer != nullptr, "Machine: null observer");
+  observers_.push_back(observer);
+}
+
+bool Machine::step() {
+  if (halted_) return false;
+  const Instruction in = decode(load_word(pc_));
+  execute(in);
+  ++retired_;
+  for (ExecutionObserver* obs : observers_) obs->on_instruction(in, *this);
+  return !halted_;
+}
+
+std::uint64_t Machine::run(std::uint64_t max_instructions) {
+  const std::uint64_t start = retired_;
+  while (!halted_ && retired_ - start < max_instructions) step();
+  u::require(halted_, "Machine::run: instruction budget exhausted");
+  return retired_ - start;
+}
+
+void Machine::execute(const Instruction& in) {
+  const std::uint32_t a = reg(in.rs1);
+  const std::uint32_t b = reg(in.rs2);
+  const auto imm = static_cast<std::uint32_t>(in.imm);
+  std::uint32_t next_pc = pc_ + 4;
+
+  auto branch_to = [&](bool taken) {
+    if (taken)
+      next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+  };
+
+  switch (in.opcode) {
+    case Opcode::add: set_reg(in.rd, a + b); break;
+    case Opcode::sub: set_reg(in.rd, a - b); break;
+    case Opcode::and_: set_reg(in.rd, a & b); break;
+    case Opcode::or_: set_reg(in.rd, a | b); break;
+    case Opcode::xor_: set_reg(in.rd, a ^ b); break;
+    case Opcode::slt:
+      set_reg(in.rd, static_cast<std::int32_t>(a) <
+                             static_cast<std::int32_t>(b)
+                         ? 1
+                         : 0);
+      break;
+    case Opcode::sltu: set_reg(in.rd, a < b ? 1 : 0); break;
+    case Opcode::sll: set_reg(in.rd, a << (b & 31)); break;
+    case Opcode::srl: set_reg(in.rd, a >> (b & 31)); break;
+    case Opcode::sra:
+      set_reg(in.rd, static_cast<std::uint32_t>(
+                         static_cast<std::int32_t>(a) >> (b & 31)));
+      break;
+    case Opcode::mul: set_reg(in.rd, a * b); break;
+    case Opcode::mulhu:
+      set_reg(in.rd,
+              static_cast<std::uint32_t>(
+                  (static_cast<std::uint64_t>(a) * b) >> 32));
+      break;
+    case Opcode::addi: set_reg(in.rd, a + imm); break;
+    // Logical immediates zero-extend (so `li` = lui + ori composes any
+    // 32-bit constant without the low half bleeding into the high half).
+    case Opcode::andi: set_reg(in.rd, a & (imm & 0xffffu)); break;
+    case Opcode::ori: set_reg(in.rd, a | (imm & 0xffffu)); break;
+    case Opcode::xori: set_reg(in.rd, a ^ (imm & 0xffffu)); break;
+    case Opcode::slti:
+      set_reg(in.rd, static_cast<std::int32_t>(a) < in.imm ? 1 : 0);
+      break;
+    case Opcode::slli: set_reg(in.rd, a << (imm & 31)); break;
+    case Opcode::srli: set_reg(in.rd, a >> (imm & 31)); break;
+    case Opcode::srai:
+      set_reg(in.rd, static_cast<std::uint32_t>(
+                         static_cast<std::int32_t>(a) >> (imm & 31)));
+      break;
+    case Opcode::lui:
+      set_reg(in.rd, (imm & 0xffffu) << 16);
+      break;
+    case Opcode::lw: set_reg(in.rd, load_word(a + imm)); break;
+    case Opcode::sw: store_word(a + imm, b); break;
+    case Opcode::beq: branch_to(a == b); break;
+    case Opcode::bne: branch_to(a != b); break;
+    case Opcode::blt:
+      branch_to(static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b));
+      break;
+    case Opcode::bge:
+      branch_to(static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b));
+      break;
+    case Opcode::bltu: branch_to(a < b); break;
+    case Opcode::bgeu: branch_to(a >= b); break;
+    case Opcode::jal:
+      set_reg(in.rd, pc_ + 4);
+      next_pc = pc_ + 4 + (static_cast<std::uint32_t>(in.imm) << 2);
+      break;
+    case Opcode::jalr:
+      set_reg(in.rd, pc_ + 4);
+      next_pc = (a + imm) & ~3u;
+      break;
+    case Opcode::halt: halted_ = true; break;
+    case Opcode::nop: break;
+    case Opcode::opcode_count:
+      throw u::Error("Machine: corrupt instruction");
+  }
+  pc_ = next_pc;
+}
+
+}  // namespace lv::isa

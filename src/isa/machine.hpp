@@ -1,0 +1,67 @@
+// LVR32 instruction-set simulator with ATOM-style instrumentation hooks.
+//
+// Every retired instruction is reported to registered ExecutionObservers —
+// this is the mechanism lv_profile uses to measure functional-block
+// activity exactly the way the paper's modified ATOM does ("ATOM is able
+// to compute the profiling parameters for each functional block in a
+// single run", Section 5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace lv::isa {
+
+class Machine;
+
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+  // Called after `instruction` retires. `machine` exposes post-state.
+  virtual void on_instruction(const Instruction& instruction,
+                              const Machine& machine) = 0;
+};
+
+class Machine {
+ public:
+  // `memory_words` words of zero-initialized RAM (byte size = 4x).
+  explicit Machine(std::size_t memory_words = 1 << 18);
+
+  // Loads encoded words at byte address `base` (word aligned).
+  void load(const std::vector<std::uint32_t>& words, std::uint32_t base = 0);
+  void set_pc(std::uint32_t byte_address);
+
+  // Registers: r0 reads as 0 and ignores writes.
+  std::uint32_t reg(int index) const;
+  void set_reg(int index, std::uint32_t value);
+
+  std::uint32_t load_word(std::uint32_t byte_address) const;
+  void store_word(std::uint32_t byte_address, std::uint32_t value);
+
+  // Non-owning; observers must outlive the machine's run.
+  void add_observer(ExecutionObserver* observer);
+
+  // Executes one instruction; returns false when halted (before or now).
+  bool step();
+  // Runs until halt or `max_instructions`; returns instructions retired.
+  std::uint64_t run(std::uint64_t max_instructions = 100'000'000);
+
+  bool halted() const { return halted_; }
+  std::uint32_t pc() const { return pc_; }
+  std::uint64_t instructions_retired() const { return retired_; }
+  std::size_t memory_words() const { return memory_.size(); }
+
+ private:
+  void execute(const Instruction& instruction);
+
+  std::vector<std::uint32_t> memory_;
+  std::uint32_t regs_[kRegisterCount] = {};
+  std::uint32_t pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t retired_ = 0;
+  std::vector<ExecutionObserver*> observers_;
+};
+
+}  // namespace lv::isa

@@ -1,0 +1,85 @@
+#include "isa/trace.hpp"
+
+#include <algorithm>
+
+namespace lv::isa {
+
+TraceRecorder::TraceRecorder(std::size_t max_entries)
+    : max_entries_{max_entries} {}
+
+void TraceRecorder::on_instruction(const Instruction& instruction,
+                                   const Machine& machine) {
+  ++total_;
+  ++opcode_counts_[instruction.opcode];
+  // The machine's pc has already advanced when the observer fires, but
+  // the post-pc of instruction k is exactly the fetch address of
+  // instruction k+1 — so each entry's address is the *previous* post-pc.
+  // The first entry assumes the conventional entry point 0.
+  TraceEntry entry;
+  entry.opcode = instruction.opcode;
+  entry.pc = have_last_ ? last_pc_ : 0;
+  last_pc_ = machine.pc();
+  have_last_ = true;
+  if (trace_.size() < max_entries_) {
+    trace_.push_back(entry);
+  } else {
+    truncated_ = true;
+  }
+}
+
+lv::util::Table TraceRecorder::opcode_table() const {
+  std::vector<std::pair<Opcode, std::uint64_t>> rows{opcode_counts_.begin(),
+                                                     opcode_counts_.end()};
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  lv::util::Table table{{"opcode", "count", "fraction"}};
+  table.set_double_format("%.4f");
+  for (const auto& [op, count] : rows) {
+    table.add_row({std::string{mnemonic(op)}, static_cast<long long>(count),
+                   total_ == 0 ? 0.0
+                               : static_cast<double>(count) /
+                                     static_cast<double>(total_)});
+  }
+  return table;
+}
+
+std::vector<BasicBlock> basic_blocks(const std::vector<TraceEntry>& trace) {
+  std::vector<BasicBlock> blocks;
+  if (trace.empty()) return blocks;
+
+  // Pass 1: discover leaders (trace head + every discontinuity target).
+  std::map<std::uint32_t, BasicBlock> by_leader;
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const std::uint32_t leader = trace[i].pc;
+    std::uint32_t length = 1;
+    while (i + length < trace.size() &&
+           trace[i + length].pc == trace[i + length - 1].pc + 4 &&
+           !is_branch(trace[i + length - 1].opcode) &&
+           trace[i + length - 1].opcode != Opcode::jal &&
+           trace[i + length - 1].opcode != Opcode::jalr)
+      ++length;
+    auto& block = by_leader[leader];
+    block.leader = leader;
+    block.instructions = std::max(block.instructions, length);
+    ++block.executions;
+    i += length;
+  }
+  blocks.reserve(by_leader.size());
+  for (const auto& [leader, block] : by_leader) blocks.push_back(block);
+  return blocks;
+}
+
+std::vector<BasicBlock> hottest_blocks(const std::vector<TraceEntry>& trace,
+                                       std::size_t top_n) {
+  auto blocks = basic_blocks(trace);
+  std::sort(blocks.begin(), blocks.end(),
+            [](const BasicBlock& a, const BasicBlock& b) {
+              return a.executions * a.instructions >
+                     b.executions * b.instructions;
+            });
+  if (blocks.size() > top_n) blocks.resize(top_n);
+  return blocks;
+}
+
+}  // namespace lv::isa

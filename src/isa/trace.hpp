@@ -1,0 +1,73 @@
+// Execution tracing and basic-block statistics — the other half of the
+// Pixie/ATOM toolbox (the paper: profiling packages "note the number of
+// executions of subroutines or modules" and "guide the development of
+// instruction set architectures through the measurement of instruction
+// execution frequencies").
+//
+// TraceRecorder captures the retired (pc, opcode) stream; BasicBlockStats
+// reduces it to leader-based basic blocks with execution counts, giving
+// the subroutine/module-level view the paper profiles at, plus opcode
+// execution frequencies for ISA studies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/machine.hpp"
+#include "util/table.hpp"
+
+namespace lv::isa {
+
+struct TraceEntry {
+  std::uint32_t pc = 0;  // byte address of the retired instruction
+  Opcode opcode = Opcode::nop;
+};
+
+class TraceRecorder : public ExecutionObserver {
+ public:
+  // `max_entries` caps memory; beyond it the trace truncates (the counts
+  // below keep accumulating regardless).
+  explicit TraceRecorder(std::size_t max_entries = 1 << 20);
+
+  void on_instruction(const Instruction& instruction,
+                      const Machine& machine) override;
+
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+  bool truncated() const { return truncated_; }
+  std::uint64_t total() const { return total_; }
+
+  // Dynamic opcode execution frequencies (count per opcode).
+  const std::map<Opcode, std::uint64_t>& opcode_counts() const {
+    return opcode_counts_;
+  }
+  // Frequency table sorted by count, paper-style.
+  lv::util::Table opcode_table() const;
+
+ private:
+  std::size_t max_entries_;
+  std::vector<TraceEntry> trace_;
+  bool truncated_ = false;
+  std::uint64_t total_ = 0;
+  std::map<Opcode, std::uint64_t> opcode_counts_;
+  std::uint32_t last_pc_ = 0;
+  bool have_last_ = false;
+};
+
+struct BasicBlock {
+  std::uint32_t leader = 0;       // byte address of the first instruction
+  std::uint32_t instructions = 0; // static length
+  std::uint64_t executions = 0;   // dynamic entry count
+};
+
+// Leader-based basic-block reconstruction from a trace: a new block
+// starts at the trace head and after every non-sequential pc step.
+std::vector<BasicBlock> basic_blocks(const std::vector<TraceEntry>& trace);
+
+// The `top_n` hottest blocks by dynamic instruction count
+// (executions x length), descending.
+std::vector<BasicBlock> hottest_blocks(const std::vector<TraceEntry>& trace,
+                                       std::size_t top_n);
+
+}  // namespace lv::isa

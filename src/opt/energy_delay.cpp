@@ -1,0 +1,66 @@
+#include "opt/energy_delay.hpp"
+
+#include "power/estimator.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lv::opt {
+
+namespace u = lv::util;
+
+EnergyDelayResult explore_energy_delay(const circuit::Netlist& netlist,
+                                       const tech::Process& process,
+                                       double alpha, double vdd_lo,
+                                       double vdd_hi, int points,
+                                       double delay_cap) {
+  u::require(vdd_lo > 0.0 && vdd_lo < vdd_hi,
+             "explore_energy_delay: bad vdd range");
+  u::require(points >= 2, "explore_energy_delay: need >= 2 points");
+
+  EnergyDelayResult result;
+  for (const double vdd :
+       u::linspace(vdd_lo, vdd_hi, static_cast<std::size_t>(points))) {
+    EnergyDelayPoint pt;
+    pt.vdd = vdd;
+    const timing::DelayModel dm{process, vdd};
+    if (!dm.feasible()) {
+      result.sweep.push_back(pt);
+      continue;
+    }
+    const timing::Sta sta{netlist, process, vdd};
+    const auto timed = sta.run(1.0);
+    pt.delay = timed.critical_delay;
+    if (pt.delay <= 0.0) {
+      result.sweep.push_back(pt);
+      continue;
+    }
+    power::OperatingPoint op;
+    op.vdd = vdd;
+    op.f_clk = 1.0 / pt.delay;
+    op.temp_k = process.temp_k;
+    const power::PowerEstimator est{netlist, process, op};
+    pt.energy = est.estimate_uniform(alpha).energy_per_cycle(op.f_clk);
+    pt.edp = pt.energy * pt.delay;
+    pt.feasible = true;
+    result.sweep.push_back(pt);
+  }
+
+  for (const auto& pt : result.sweep) {
+    if (!pt.feasible) continue;
+    if (!result.min_edp.feasible || pt.edp < result.min_edp.edp)
+      result.min_edp = pt;
+    if (!result.min_ed2.feasible ||
+        pt.energy * pt.delay * pt.delay <
+            result.min_ed2.energy * result.min_ed2.delay *
+                result.min_ed2.delay)
+      result.min_ed2 = pt;
+    if (delay_cap > 0.0 && pt.delay <= delay_cap &&
+        (!result.min_energy_capped.feasible ||
+         pt.energy < result.min_energy_capped.energy))
+      result.min_energy_capped = pt;
+  }
+  return result;
+}
+
+}  // namespace lv::opt

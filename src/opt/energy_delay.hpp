@@ -1,0 +1,44 @@
+// Netlist-level energy-delay exploration.
+//
+// Complements the ring-oscillator analysis of Figs. 3-4 with the same
+// trade-off computed on a real netlist: sweep V_DD, obtain the critical
+// delay from STA and the per-cycle energy from the power engine (at a
+// cycle time equal to the critical delay — the circuit runs as fast as it
+// can at each supply), and locate the classic metrics: minimum
+// energy-delay product (EDP), minimum ED^2, and the minimum-energy point
+// under an optional delay cap.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "tech/process.hpp"
+
+namespace lv::opt {
+
+struct EnergyDelayPoint {
+  double vdd = 0.0;       // [V]
+  double delay = 0.0;     // critical delay [s]
+  double energy = 0.0;    // per cycle at f = 1/delay [J]
+  double edp = 0.0;       // energy * delay
+  bool feasible = false;  // device conducts at this supply
+};
+
+struct EnergyDelayResult {
+  std::vector<EnergyDelayPoint> sweep;
+  EnergyDelayPoint min_edp;
+  EnergyDelayPoint min_ed2;
+  // Lowest-energy feasible point with delay <= delay_cap (the
+  // throughput-constrained answer); invalid when nothing meets the cap.
+  EnergyDelayPoint min_energy_capped;
+};
+
+// Sweeps vdd over [vdd_lo, vdd_hi]; `alpha` is the assumed uniform node
+// activity. `delay_cap` <= 0 disables the capped search.
+EnergyDelayResult explore_energy_delay(const circuit::Netlist& netlist,
+                                       const tech::Process& process,
+                                       double alpha, double vdd_lo,
+                                       double vdd_hi, int points = 25,
+                                       double delay_cap = 0.0);
+
+}  // namespace lv::opt

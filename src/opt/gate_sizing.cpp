@@ -1,0 +1,106 @@
+#include "opt/gate_sizing.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "circuit/load_model.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+
+namespace lv::opt {
+
+namespace u = lv::util;
+using circuit::InstanceId;
+
+namespace {
+
+double total_leakage(const circuit::Netlist& netlist,
+                     const tech::Process& process, double vdd,
+                     const std::vector<double>& sizes) {
+  double total = 0.0;
+  const auto n = process.make_nmos(1.0);
+  const auto p = process.make_pmos(1.0);
+  const double in = n.off_current(vdd, 0.0, process.temp_k);
+  const double ip = p.off_current(vdd, 0.0, process.temp_k);
+  for (InstanceId i = 0; i < netlist.instance_count(); ++i) {
+    const auto& info = circuit::cell_info(netlist.instance(i).kind);
+    total += 0.5 * sizes[i] *
+             (in * info.n_width_total / info.n_stack +
+              ip * info.p_width_total / info.p_stack);
+  }
+  return total;
+}
+
+}  // namespace
+
+SizingResult downsize_gates(const circuit::Netlist& netlist,
+                            const tech::Process& process, double vdd,
+                            double period_margin, double min_size,
+                            int retime_batch,
+                            const std::vector<double>* vt_shifts) {
+  u::require(min_size > 0.0 && min_size < 1.0,
+             "downsize_gates: min_size in (0, 1)");
+  u::require(retime_batch >= 1, "downsize_gates: batch must be >= 1");
+
+  const std::size_t count = netlist.instance_count();
+  const std::vector<double> zero_shifts(count, 0.0);
+  const std::vector<double>& shifts =
+      vt_shifts != nullptr ? *vt_shifts : zero_shifts;
+  u::require(shifts.size() == count, "downsize_gates: vt_shift mismatch");
+
+  const timing::Sta sta{netlist, process, vdd};
+  SizingResult result;
+  result.sizes.assign(count, 1.0);
+
+  const auto base = sta.run(1.0, shifts, result.sizes);
+  result.delay_before = base.critical_delay;
+  result.clock_period = base.critical_delay * (1.0 + period_margin);
+  result.cap_before =
+      circuit::LoadModel{netlist, process, vdd, result.sizes}.total_cap();
+  result.leakage_before = total_leakage(netlist, process, vdd, result.sizes);
+
+  // Candidate order: most slack first.
+  const auto slacked = sta.run(result.clock_period, shifts, result.sizes);
+  std::vector<InstanceId> order(count);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
+    return slacked.instance_slack[a] > slacked.instance_slack[b];
+  });
+
+  std::vector<InstanceId> pending;
+  auto commit_or_revert = [&]() {
+    const auto timed = sta.run(result.clock_period, shifts, result.sizes);
+    if (timed.critical_delay <= result.clock_period) {
+      result.downsized += pending.size();
+      pending.clear();
+      return;
+    }
+    for (const InstanceId i : pending) result.sizes[i] = 1.0;
+    for (const InstanceId i : pending) {
+      result.sizes[i] = min_size;
+      const auto single = sta.run(result.clock_period, shifts, result.sizes);
+      if (single.critical_delay <= result.clock_period) {
+        ++result.downsized;
+      } else {
+        result.sizes[i] = 1.0;
+      }
+    }
+    pending.clear();
+  };
+
+  for (const InstanceId i : order) {
+    result.sizes[i] = min_size;
+    pending.push_back(i);
+    if (static_cast<int>(pending.size()) >= retime_batch) commit_or_revert();
+  }
+  if (!pending.empty()) commit_or_revert();
+
+  const auto final_timing = sta.run(result.clock_period, shifts, result.sizes);
+  result.delay_after = final_timing.critical_delay;
+  result.cap_after =
+      circuit::LoadModel{netlist, process, vdd, result.sizes}.total_cap();
+  result.leakage_after = total_leakage(netlist, process, vdd, result.sizes);
+  return result;
+}
+
+}  // namespace lv::opt

@@ -1,0 +1,40 @@
+// Slack-driven gate downsizing for power.
+//
+// Companion to the dual-VT assignment: instead of (or before) raising
+// thresholds, shrink off-critical gates. A smaller gate presents less
+// input capacitance to its driver and leaks less, at the cost of weaker
+// drive — so, exactly like the VT move, it spends slack. The greedy walks
+// gates in descending-slack order, tentatively setting each to
+// `min_size`, and keeps the move when STA still meets the clock period.
+//
+// Composes with dual-VT: `downsize_gates` accepts an optional per-
+// instance vt_shift vector so sizing can run on an already VT-assigned
+// netlist.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "tech/process.hpp"
+
+namespace lv::opt {
+
+struct SizingResult {
+  std::vector<double> sizes;      // per instance (1.0 or min_size)
+  std::size_t downsized = 0;
+  double clock_period = 0.0;      // constraint used [s]
+  double delay_before = 0.0;      // all-1.0x critical delay [s]
+  double delay_after = 0.0;       // sized critical delay [s]
+  double cap_before = 0.0;        // total switched capacitance [F]
+  double cap_after = 0.0;         // [F]
+  double leakage_before = 0.0;    // [A]
+  double leakage_after = 0.0;     // [A]
+};
+
+SizingResult downsize_gates(const circuit::Netlist& netlist,
+                            const tech::Process& process, double vdd,
+                            double period_margin = 0.05,
+                            double min_size = 0.5, int retime_batch = 8,
+                            const std::vector<double>* vt_shifts = nullptr);
+
+}  // namespace lv::opt

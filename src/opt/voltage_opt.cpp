@@ -1,0 +1,113 @@
+#include "opt/voltage_opt.hpp"
+
+#include <cmath>
+
+#include "util/numeric.hpp"
+
+namespace lv::opt {
+
+namespace u = lv::util;
+
+namespace {
+
+// Moves every threshold of the process so the NMOS V_T equals `vt`
+// (PMOS tracks with the same shift), expressed as a shift for the device
+// factories.
+double shift_for_vt(const tech::Process& process, double vt) {
+  return vt - process.nmos.vt0;
+}
+
+}  // namespace
+
+std::optional<double> iso_delay_vdd(const tech::Process& process,
+                                    const timing::RingOscillator& ring,
+                                    double vt, double target_stage_delay) {
+  const double shift = shift_for_vt(process, vt);
+  auto mismatch = [&](double vdd) {
+    return ring.stage_delay(process, vdd, shift) - target_stage_delay;
+  };
+  const double lo = 0.05;
+  const double hi = process.vdd_max;
+  // Delay decreases monotonically with vdd; a bracket requires the target
+  // to be achievable at hi and exceeded at lo.
+  if (mismatch(hi) > 0.0) return std::nullopt;  // too slow even at max vdd
+  if (mismatch(lo) < 0.0) return lo;            // already fast at the floor
+  const auto solved = u::bisect(mismatch, lo, hi, 1e-6);
+  if (!solved || !solved->converged) return std::nullopt;
+  return solved->x;
+}
+
+EnergyPoint ring_energy_at_vt(const tech::Process& process,
+                              const timing::RingOscillator& ring, double vt,
+                              double f_clk, double activity) {
+  EnergyPoint pt;
+  pt.vt = vt;
+  const double t_cycle = 1.0 / f_clk;
+  const double target_stage = t_cycle / (2.0 * ring.stages);
+  const auto vdd = iso_delay_vdd(process, ring, vt, target_stage);
+  if (!vdd) return pt;  // infeasible
+  pt.vdd = *vdd;
+  pt.feasible = true;
+  const double shift = shift_for_vt(process, vt);
+  pt.switching_energy = activity *
+                        ring.switched_cap_per_period(process, pt.vdd) *
+                        pt.vdd * pt.vdd;
+  pt.leakage_energy =
+      ring.leakage_current(process, pt.vdd, shift) * pt.vdd * t_cycle;
+  pt.total_energy = pt.switching_energy + pt.leakage_energy;
+  return pt;
+}
+
+VtSweepResult optimize_vt(const tech::Process& process,
+                          const timing::RingOscillator& ring, double f_clk,
+                          double activity, double vt_lo, double vt_hi,
+                          int points) {
+  VtSweepResult result;
+  const auto vts = u::linspace(vt_lo, vt_hi, static_cast<std::size_t>(points));
+  for (const double vt : vts)
+    result.sweep.push_back(
+        ring_energy_at_vt(process, ring, vt, f_clk, activity));
+
+  // Refine around the best feasible grid point.
+  const EnergyPoint* best = nullptr;
+  for (const auto& pt : result.sweep)
+    if (pt.feasible && (!best || pt.total_energy < best->total_energy))
+      best = &pt;
+  if (!best) return result;  // nothing feasible in range
+
+  auto energy_of = [&](double vt) {
+    const auto pt = ring_energy_at_vt(process, ring, vt, f_clk, activity);
+    return pt.feasible ? pt.total_energy : 1e30;
+  };
+  const double span = (vt_hi - vt_lo) / (points - 1);
+  const auto refined = u::golden_minimize(
+      energy_of, std::max(vt_lo, best->vt - span),
+      std::min(vt_hi, best->vt + span), 1e-5);
+  result.optimum =
+      ring_energy_at_vt(process, ring, refined.x, f_clk, activity);
+  if (!result.optimum.feasible || result.optimum.total_energy > best->total_energy)
+    result.optimum = *best;
+  return result;
+}
+
+BodyBiasPlan plan_body_bias(const tech::Process& process, double vdd,
+                            double target_decades, double max_vsb) {
+  const auto n = process.make_nmos(1.0);
+  BodyBiasPlan plan;
+  plan.vt_active = n.threshold(0.0, vdd, process.temp_k);
+  const double i_active = n.off_current(vdd, 0.0, process.temp_k);
+
+  const double target_ratio = std::pow(10.0, target_decades);
+  const auto xs = u::linspace(0.0, max_vsb, 401);
+  for (const double vsb : xs) {
+    const double i_standby = n.off_current(vdd, vsb, process.temp_k);
+    const double ratio = i_active / i_standby;
+    plan.standby_vsb = vsb;
+    plan.vt_standby = n.threshold(vsb, vdd, process.temp_k);
+    plan.leakage_reduction = ratio;
+    if (ratio >= target_ratio) break;  // first bias meeting the target
+  }
+  return plan;
+}
+
+}  // namespace lv::opt

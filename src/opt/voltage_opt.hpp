@@ -1,0 +1,74 @@
+// Supply/threshold co-optimization for continuously-operating circuits
+// (paper Section 3, Figs. 3-4).
+//
+// The experiment structure mirrors the paper's: a ring oscillator is held
+// at a fixed performance point (stage delay / oscillation frequency) while
+// V_T varies; V_DD is solved per V_T to keep the delay constant
+// (iso-delay curve, Fig. 3); the per-cycle energy
+//     E = act * C_sw(V_DD) * V_DD^2 + I_leak(V_DD, V_T) * V_DD * t_cycle
+// then exhibits an interior minimum in V_T (Fig. 4): lowering V_T buys a
+// quadratic switching saving through V_DD until exponential leakage takes
+// over. Lower switching activity moves the optimum to higher V_T — the
+// paper's closing observation of Section 3.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tech/process.hpp"
+#include "timing/delay_model.hpp"
+
+namespace lv::opt {
+
+// Solves V_DD so the ring's stage delay equals `target_stage_delay` with
+// all thresholds moved to `vt` (absolute NMOS V_T, not a shift). Returns
+// nullopt when no supply in [0.05 V, process.vdd_max] achieves the delay.
+std::optional<double> iso_delay_vdd(const tech::Process& process,
+                                    const timing::RingOscillator& ring,
+                                    double vt, double target_stage_delay);
+
+struct EnergyPoint {
+  double vt = 0.0;                // absolute NMOS threshold [V]
+  double vdd = 0.0;               // solved supply [V]
+  double switching_energy = 0.0;  // per cycle [J]
+  double leakage_energy = 0.0;    // per cycle [J]
+  double total_energy = 0.0;      // per cycle [J]
+  bool feasible = false;
+};
+
+// Energy per cycle of the ring at threshold `vt`, running at frequency
+// `f_clk` (V_DD solved for iso-delay). `activity` scales the switching
+// component: 1 = every node toggles each cycle (free-running ring);
+// smaller values model quieter logic.
+EnergyPoint ring_energy_at_vt(const tech::Process& process,
+                              const timing::RingOscillator& ring, double vt,
+                              double f_clk, double activity = 1.0);
+
+struct VtSweepResult {
+  std::vector<EnergyPoint> sweep;
+  EnergyPoint optimum;
+};
+
+// Sweeps vt over [vt_lo, vt_hi] (n points) at fixed throughput and locates
+// the minimum-energy threshold — the Fig. 4 experiment.
+VtSweepResult optimize_vt(const tech::Process& process,
+                          const timing::RingOscillator& ring, double f_clk,
+                          double activity, double vt_lo, double vt_hi,
+                          int points = 41);
+
+struct BodyBiasPlan {
+  double standby_vsb = 0.0;      // reverse bias applied in standby [V]
+  double vt_active = 0.0;        // [V]
+  double vt_standby = 0.0;       // [V]
+  double leakage_reduction = 1.0;  // active/standby off-current ratio
+};
+
+// Plans a standby substrate bias achieving `target_decades` of leakage
+// reduction, scanning Vsb up to `max_vsb`. Demonstrates the paper's
+// caveat: VT moves with sqrt(Vsb), so each extra decade costs rapidly more
+// bias voltage. The plan reports the best achievable point when the
+// target is out of reach.
+BodyBiasPlan plan_body_bias(const tech::Process& process, double vdd,
+                            double target_decades, double max_vsb = 4.0);
+
+}  // namespace lv::opt

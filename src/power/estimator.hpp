@@ -1,0 +1,100 @@
+// Power estimation (paper Section 2).
+//
+// Components:
+//  * switching: per-net E = alpha_{0->1} * C_eff(V_DD) * V_DD^2 * f, with
+//    C_eff from the voltage-dependent LoadModel (Fig. 1 non-linearity);
+//  * short-circuit: Veendrick-style fraction of switching power, zero when
+//    V_DD < V_Tn + |V_Tp| (no overlap conduction possible) and bounded
+//    near the classic ~10% for balanced edges;
+//  * leakage: per-instance state-averaged sub-threshold current with a
+//    numerically computed series-stack derating (the paper stresses
+//    "current power estimation tools (except at the SPICE level) do not
+//    take the subthreshold leakage component into account" — this one
+//    does);
+//  * clock: sequential cells' clock load switches every enabled cycle.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "circuit/load_model.hpp"
+#include "circuit/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "tech/process.hpp"
+
+namespace lv::power {
+
+struct PowerBreakdown {
+  double switching = 0.0;      // [W]
+  double short_circuit = 0.0;  // [W]
+  double leakage = 0.0;        // [W]
+  double clock = 0.0;          // [W]
+
+  double total() const { return switching + short_circuit + leakage + clock; }
+  // Energy per clock cycle [J] at frequency f.
+  double energy_per_cycle(double f_clk) const { return total() / f_clk; }
+};
+
+struct OperatingPoint {
+  double vdd = 1.0;       // [V]
+  double f_clk = 50e6;    // [Hz]
+  double vt_shift = 0.0;  // applied to all devices [V]
+  double temp_k = 300.0;
+};
+
+class PowerEstimator {
+ public:
+  PowerEstimator(const circuit::Netlist& netlist,
+                 const tech::Process& process, OperatingPoint op);
+
+  const OperatingPoint& operating_point() const { return op_; }
+  const circuit::LoadModel& loads() const { return loads_; }
+
+  // Power from measured per-net activity (simulator statistics).
+  PowerBreakdown estimate(const sim::ActivityStats& stats) const;
+
+  // Power assuming every net toggles with activity alpha_{0->1} = alpha.
+  PowerBreakdown estimate_uniform(double alpha) const;
+
+  // Per-module split of the measured-activity estimate. Nets are billed
+  // to their driver's module; leakage to each instance's module. The ""
+  // key collects untagged logic.
+  std::map<std::string, PowerBreakdown> by_module(
+      const sim::ActivityStats& stats) const;
+
+  // Total state-averaged leakage current of the netlist [A], with an
+  // optional extra VT shift (standby body bias / back gate).
+  double leakage_current(double extra_vt_shift = 0.0) const;
+  // Leakage current of one module's instances [A].
+  double module_leakage_current(const std::string& module,
+                                double extra_vt_shift = 0.0) const;
+
+  // Total switched capacitance per cycle implied by measured activity [F]
+  // (the y-axis quantity of Fig. 1 when applied to a register netlist).
+  double switched_cap_per_cycle(const sim::ActivityStats& stats) const;
+
+ private:
+  double instance_leakage(circuit::InstanceId id, double extra_shift) const;
+  double short_circuit_fraction() const;
+
+  const circuit::Netlist& netlist_;
+  // Stored by value: Process is a small parameter bundle and callers often
+  // pass factory temporaries (tech::soi_low_vt()).
+  tech::Process process_;
+  OperatingPoint op_;
+  circuit::LoadModel loads_;
+  // Stack-effect derating factors for series heights 1..4, computed once
+  // from the device model via the stack solver.
+  double stack_factor_n_[5];
+  double stack_factor_p_[5];
+};
+
+// Switched capacitance per cycle of a single register cell of the given
+// style at supply `vdd` [F] — the quantity plotted in Fig. 1 for the
+// C2MOS, TSPC, and LCLR styles. Assumes data activity alpha (default 0.5,
+// random data) plus the always-switching clock load.
+double register_switched_cap(circuit::CellKind style,
+                             const tech::Process& process, double vdd,
+                             double data_alpha = 0.5);
+
+}  // namespace lv::power

@@ -1,0 +1,61 @@
+#include "power/glitch.hpp"
+
+#include <algorithm>
+
+namespace lv::power {
+
+using circuit::InstanceId;
+using circuit::NetId;
+
+GlitchReport analyze_glitch_power(const circuit::Netlist& netlist,
+                                  const tech::Process& process,
+                                  const OperatingPoint& op,
+                                  const sim::ActivityStats& stats) {
+  const circuit::LoadModel loads{netlist, process, op.vdd};
+  const double v2f = op.vdd * op.vdd * op.f_clk;
+  const double cycles = static_cast<double>(std::max<std::uint64_t>(
+      stats.cycles(), 1));
+
+  GlitchReport report;
+  std::map<std::string, double> module_functional;
+  std::map<std::string, double> module_glitch;
+  double worst = 0.0;
+
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    const auto toggles = stats.transitions(n);
+    const auto functional = std::min(stats.settled_changes(n), toggles);
+    const auto glitches = toggles - functional;
+    // alpha_{0->1} split: half of each toggle class is a rising edge.
+    const double p_functional =
+        static_cast<double>(functional) / 2.0 / cycles *
+        loads.net_load(n) * v2f;
+    const double p_glitch = static_cast<double>(glitches) / 2.0 / cycles *
+                            loads.net_load(n) * v2f;
+    report.functional_power += p_functional;
+    report.glitch_power += p_glitch;
+
+    const InstanceId drv = netlist.net(n).driver;
+    const std::string mod =
+        drv == ~InstanceId{0} ? std::string{} : netlist.instance(drv).module;
+    module_functional[mod] += p_functional;
+    module_glitch[mod] += p_glitch;
+
+    if (p_glitch > worst) {
+      worst = p_glitch;
+      report.worst_net = netlist.net(n).name;
+    }
+  }
+
+  const double total = report.functional_power + report.glitch_power;
+  report.glitch_fraction = total > 0.0 ? report.glitch_power / total : 0.0;
+  report.worst_net_share =
+      report.glitch_power > 0.0 ? worst / report.glitch_power : 0.0;
+  for (const auto& [mod, glitch] : module_glitch) {
+    const double mod_total = glitch + module_functional[mod];
+    report.module_glitch_fraction[mod] =
+        mod_total > 0.0 ? glitch / mod_total : 0.0;
+  }
+  return report;
+}
+
+}  // namespace lv::power

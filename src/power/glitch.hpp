@@ -1,0 +1,38 @@
+// Glitch-power analysis.
+//
+// The paper's activity histograms (Figs. 8-9) explicitly include "the
+// extra transitions due to glitching in static CMOS circuits"; this
+// report separates them: a net's transitions split into *functional*
+// toggles (reflected in the settled value each cycle) and *glitch*
+// toggles (spurious intermediate swings from path-delay imbalance), each
+// billed against the net's effective load capacitance. The per-module
+// split points at the blocks worth path-balancing — one of the Section 1
+// switched-capacitance reduction levers.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "power/estimator.hpp"
+
+namespace lv::power {
+
+struct GlitchReport {
+  double functional_power = 0.0;  // [W] from settled-value changes
+  double glitch_power = 0.0;      // [W] from spurious transitions
+  // glitch / (glitch + functional); 0 when the netlist never switched.
+  double glitch_fraction = 0.0;
+  // Per driver module ("" = inputs/top): glitch fraction of that module's
+  // switching power.
+  std::map<std::string, double> module_glitch_fraction;
+  // Net with the largest glitch power and its share of total glitching.
+  std::string worst_net;
+  double worst_net_share = 0.0;
+};
+
+GlitchReport analyze_glitch_power(const circuit::Netlist& netlist,
+                                  const tech::Process& process,
+                                  const OperatingPoint& op,
+                                  const sim::ActivityStats& stats);
+
+}  // namespace lv::power

@@ -1,0 +1,124 @@
+#include "profile/profiler.hpp"
+
+#include "util/error.hpp"
+
+namespace lv::profile {
+
+using isa::Opcode;
+
+const char* to_string(FunctionalUnit unit) {
+  switch (unit) {
+    case FunctionalUnit::alu_adder: return "alu_adder";
+    case FunctionalUnit::logic_unit: return "logic_unit";
+    case FunctionalUnit::shifter: return "shifter";
+    case FunctionalUnit::multiplier: return "multiplier";
+    case FunctionalUnit::memory_port: return "memory_port";
+    case FunctionalUnit::branch_unit: return "branch_unit";
+    case FunctionalUnit::unit_count: break;
+  }
+  return "?";
+}
+
+UnitMap UnitMap::standard() {
+  UnitMap m;
+  using F = FunctionalUnit;
+  auto set = [&m](Opcode op, std::vector<F> units) {
+    m.set(op, std::move(units));
+  };
+  // Adder: arithmetic, compares, and every address computation — the
+  // paper's "all add, compare, load, and store instructions use the ALU
+  // adder".
+  set(Opcode::add, {F::alu_adder});
+  set(Opcode::sub, {F::alu_adder});
+  set(Opcode::addi, {F::alu_adder});
+  set(Opcode::slt, {F::alu_adder});
+  set(Opcode::sltu, {F::alu_adder});
+  set(Opcode::slti, {F::alu_adder});
+  set(Opcode::lw, {F::alu_adder, F::memory_port});
+  set(Opcode::sw, {F::alu_adder, F::memory_port});
+  set(Opcode::beq, {F::alu_adder, F::branch_unit});
+  set(Opcode::bne, {F::alu_adder, F::branch_unit});
+  set(Opcode::blt, {F::alu_adder, F::branch_unit});
+  set(Opcode::bge, {F::alu_adder, F::branch_unit});
+  set(Opcode::bltu, {F::alu_adder, F::branch_unit});
+  set(Opcode::bgeu, {F::alu_adder, F::branch_unit});
+  set(Opcode::jal, {F::alu_adder, F::branch_unit});
+  set(Opcode::jalr, {F::alu_adder, F::branch_unit});
+  // Logic unit.
+  set(Opcode::and_, {F::logic_unit});
+  set(Opcode::or_, {F::logic_unit});
+  set(Opcode::xor_, {F::logic_unit});
+  set(Opcode::andi, {F::logic_unit});
+  set(Opcode::ori, {F::logic_unit});
+  set(Opcode::xori, {F::logic_unit});
+  // Shifter.
+  set(Opcode::sll, {F::shifter});
+  set(Opcode::srl, {F::shifter});
+  set(Opcode::sra, {F::shifter});
+  set(Opcode::slli, {F::shifter});
+  set(Opcode::srli, {F::shifter});
+  set(Opcode::srai, {F::shifter});
+  // Multiplier.
+  set(Opcode::mul, {F::multiplier});
+  set(Opcode::mulhu, {F::multiplier});
+  // lui / halt / nop use no datapath unit.
+  set(Opcode::lui, {});
+  set(Opcode::halt, {});
+  set(Opcode::nop, {});
+  return m;
+}
+
+void UnitMap::set(Opcode opcode, std::vector<FunctionalUnit> units) {
+  const auto idx = static_cast<std::size_t>(opcode);
+  lv::util::require(idx < map_.size(), "UnitMap: bad opcode");
+  map_[idx] = std::move(units);
+}
+
+const std::vector<FunctionalUnit>& UnitMap::units_for(Opcode opcode) const {
+  const auto idx = static_cast<std::size_t>(opcode);
+  lv::util::require(idx < map_.size(), "UnitMap: bad opcode");
+  return map_[idx];
+}
+
+ActivityProfiler::ActivityProfiler(UnitMap map, std::uint64_t gap_tolerance)
+    : map_{std::move(map)}, gap_tolerance_{gap_tolerance} {}
+
+void ActivityProfiler::on_instruction(const isa::Instruction& instruction,
+                                      const isa::Machine&) {
+  ++total_;
+  for (const FunctionalUnit unit : map_.units_for(instruction.opcode)) {
+    Track& t = tracks_[static_cast<std::size_t>(unit)];
+    ++t.uses;
+    if (!t.ever_used || total_ - t.last_use > gap_tolerance_ + 1) ++t.blocks;
+    t.last_use = total_;
+    t.ever_used = true;
+  }
+}
+
+UnitProfile ActivityProfiler::profile(FunctionalUnit unit) const {
+  const Track& t = tracks_.at(static_cast<std::size_t>(unit));
+  UnitProfile p;
+  p.uses = t.uses;
+  p.blocks = t.blocks;
+  if (total_ > 0) {
+    p.fga = static_cast<double>(t.uses) / static_cast<double>(total_);
+    p.bga = static_cast<double>(t.blocks) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+lv::util::Table ActivityProfiler::report() const {
+  lv::util::Table table{{"unit", "uses", "fga", "bga"}};
+  table.set_double_format("%.6f");
+  table.add_row({std::string{"total_instructions"},
+                 static_cast<long long>(total_), 1.0, 0.0});
+  for (std::size_t i = 0; i < kUnitCount; ++i) {
+    const auto unit = static_cast<FunctionalUnit>(i);
+    const auto p = profile(unit);
+    table.add_row({std::string{to_string(unit)},
+                   static_cast<long long>(p.uses), p.fga, p.bga});
+  }
+  return table;
+}
+
+}  // namespace lv::profile

@@ -1,0 +1,92 @@
+// Architectural activity profiling (paper Section 5.3, Tables 1-3).
+//
+// The paper's flow: map each assembly instruction to the functional
+// block(s) it exercises ("all add, compare, load, and store instructions
+// use the ALU adder" in their implementation), count uses with an
+// ATOM-instrumented run, and derive
+//   fga = block uses / total instructions        (fraction active)
+//   bga = activation blocks / total instructions (power-mode switches)
+// where an activation block is a maximal run of consecutive uses ("if all
+// the uses of a block were sequential, bga would be 1/total").
+//
+// ActivityProfiler implements this as an ExecutionObserver on the LVR32
+// Machine. `gap_tolerance` generalizes the run detection: gaps of up to
+// that many non-using instructions do not end a block, modelling a
+// power-down controller with hysteresis (0 = the paper's strict runs).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/machine.hpp"
+#include "util/table.hpp"
+
+namespace lv::profile {
+
+enum class FunctionalUnit : std::uint8_t {
+  alu_adder,    // adds, subtracts, compares, address generation
+  logic_unit,   // bitwise and/or/xor
+  shifter,      // shifts
+  multiplier,   // mul/mulhu
+  memory_port,  // loads/stores (in addition to the adder for the address)
+  branch_unit,  // control flow (in addition to the adder for the target)
+  unit_count
+};
+
+inline constexpr std::size_t kUnitCount =
+    static_cast<std::size_t>(FunctionalUnit::unit_count);
+
+const char* to_string(FunctionalUnit unit);
+
+// Opcode -> functional units. The default mapping follows the paper's
+// stated implementation assumptions.
+class UnitMap {
+ public:
+  static UnitMap standard();
+
+  void set(isa::Opcode opcode, std::vector<FunctionalUnit> units);
+  const std::vector<FunctionalUnit>& units_for(isa::Opcode opcode) const;
+
+ private:
+  std::array<std::vector<FunctionalUnit>,
+             static_cast<std::size_t>(isa::Opcode::opcode_count)>
+      map_;
+};
+
+struct UnitProfile {
+  std::uint64_t uses = 0;
+  std::uint64_t blocks = 0;
+  double fga = 0.0;
+  double bga = 0.0;
+};
+
+class ActivityProfiler : public isa::ExecutionObserver {
+ public:
+  explicit ActivityProfiler(UnitMap map = UnitMap::standard(),
+                            std::uint64_t gap_tolerance = 0);
+
+  void on_instruction(const isa::Instruction& instruction,
+                      const isa::Machine& machine) override;
+
+  std::uint64_t total_instructions() const { return total_; }
+  UnitProfile profile(FunctionalUnit unit) const;
+
+  // Paper-format table: one row per unit with uses, fga, bga (plus the
+  // total-instructions row the paper's tables lead with).
+  lv::util::Table report() const;
+
+ private:
+  UnitMap map_;
+  std::uint64_t gap_tolerance_;
+  std::uint64_t total_ = 0;
+  struct Track {
+    std::uint64_t uses = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t last_use = 0;
+    bool ever_used = false;
+  };
+  std::array<Track, kUnitCount> tracks_;
+};
+
+}  // namespace lv::profile

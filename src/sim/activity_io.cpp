@@ -1,0 +1,79 @@
+#include "sim/activity_io.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lv::sim {
+
+namespace u = lv::util;
+
+std::string to_activity_text(const circuit::Netlist& netlist,
+                             const ActivityStats& stats) {
+  std::ostringstream out;
+  out << "lvact 1\n";
+  out << "cycles " << stats.cycles() << '\n';
+  for (circuit::NetId n = 0; n < netlist.net_count(); ++n) {
+    out << "net " << netlist.net(n).name << ' ' << stats.transitions(n)
+        << ' ' << stats.settled_changes(n) << '\n';
+  }
+  return out.str();
+}
+
+ActivityStats parse_activity_text(const circuit::Netlist& netlist,
+                                  std::string_view text) {
+  ActivityStats stats{netlist.net_count()};
+  int line_no = 0;
+  bool saw_header = false;
+
+  auto fail = [&](const std::string& message) -> void {
+    throw u::Error("activity line " + std::to_string(line_no) + ": " +
+                   message);
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string line{text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos)};
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words{line};
+    std::string keyword;
+    if (!(words >> keyword)) continue;
+
+    if (!saw_header) {
+      std::string version;
+      if (keyword != "lvact" || !(words >> version) || version != "1")
+        fail("missing 'lvact 1' header");
+      saw_header = true;
+      continue;
+    }
+    if (keyword == "cycles") {
+      std::uint64_t cycles = 0;
+      if (!(words >> cycles)) fail("cycles needs a count");
+      stats.set_cycles(cycles);
+    } else if (keyword == "net") {
+      std::string name;
+      std::uint64_t transitions = 0;
+      std::uint64_t settled = 0;
+      if (!(words >> name >> transitions >> settled))
+        fail("net needs <name> <transitions> <settled_changes>");
+      const auto id = netlist.find_net(name);
+      if (id == circuit::kInvalidNet)
+        fail("net '" + name + "' not in the netlist");
+      if (settled > transitions)
+        fail("settled changes exceed transitions for '" + name + "'");
+      stats.set_net_counts(id, transitions, settled);
+    } else {
+      fail("unknown statement '" + keyword + "'");
+    }
+  }
+  if (!saw_header) throw u::Error("activity: empty input");
+  return stats;
+}
+
+}  // namespace lv::sim

@@ -1,0 +1,30 @@
+// Text serialization of per-net activity statistics (a SAIF-style
+// exchange format). Lets a long simulation be run once and its activity
+// re-used by power estimation later — exactly the tool-flow split the
+// paper's Section 5.3 advocates (simulate for alpha, estimate separately).
+//
+// Format:
+//     lvact 1
+//     cycles <N>
+//     net <name> <transitions> <settled_changes>
+//     ...
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/simulator.hpp"
+
+namespace lv::sim {
+
+// Serializes stats against the netlist's net names.
+std::string to_activity_text(const circuit::Netlist& netlist,
+                             const ActivityStats& stats);
+
+// Parses activity for `netlist`; nets absent from the file get zero
+// counts; unknown net names are an error (they indicate a netlist
+// mismatch). Throws lv::util::Error with a line number on malformed input.
+ActivityStats parse_activity_text(const circuit::Netlist& netlist,
+                                  std::string_view text);
+
+}  // namespace lv::sim

@@ -1,0 +1,117 @@
+#include "sim/fault.hpp"
+
+#include "util/error.hpp"
+
+namespace lv::sim {
+
+using circuit::Logic;
+using circuit::NetId;
+
+FaultySimulator::FaultySimulator(const circuit::Netlist& netlist, Fault fault,
+                                 SimConfig config)
+    : sim_{netlist, config}, fault_{fault} {
+  lv::util::require(fault.net < netlist.net_count(),
+                    "FaultySimulator: fault net out of range");
+  lv::util::require(circuit::is_known(fault.stuck_at),
+                    "FaultySimulator: stuck value must be 0 or 1");
+  reassert_fault();
+}
+
+void FaultySimulator::reassert_fault() {
+  if (sim_.value(fault_.net) != fault_.stuck_at)
+    sim_.force_net(fault_.net, fault_.stuck_at);
+}
+
+void FaultySimulator::set_input(NetId net, Logic value) {
+  // Driving the faulty net itself is pointless but harmless.
+  sim_.set_input(net, value);
+}
+
+void FaultySimulator::set_bus(const circuit::Bus& bus, std::uint64_t value) {
+  sim_.set_bus(bus, value);
+}
+
+void FaultySimulator::settle() {
+  // Let the stimulus propagate, then override the faulty net and
+  // re-propagate its cone until quiescent (serial fault simulation).
+  sim_.settle();
+  reassert_fault();
+}
+
+Logic FaultySimulator::value(NetId net) const {
+  if (net == fault_.net) return fault_.stuck_at;
+  return sim_.value(net);
+}
+
+bool FaultySimulator::read_bus(const circuit::Bus& bus,
+                               std::uint64_t& out) const {
+  out = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const Logic v = value(bus[i]);
+    if (!circuit::is_known(v)) return false;
+    if (v == Logic::one) out |= (std::uint64_t{1} << i);
+  }
+  return true;
+}
+
+std::vector<Fault> enumerate_faults(const circuit::Netlist& netlist) {
+  std::vector<Fault> out;
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    const auto& net = netlist.net(n);
+    if (net.is_primary_input || net.is_clock) continue;
+    out.push_back(Fault{n, Logic::zero});
+    out.push_back(Fault{n, Logic::one});
+  }
+  return out;
+}
+
+CoverageResult fault_coverage(const circuit::Netlist& netlist,
+                              const std::vector<std::uint64_t>& vectors) {
+  lv::util::require(netlist.sequential_instances().empty(),
+                    "fault_coverage: combinational netlists only");
+  const circuit::Bus inputs = netlist.primary_inputs();
+  const circuit::Bus outputs = netlist.primary_outputs();
+  lv::util::require(inputs.size() <= 64,
+                    "fault_coverage: more than 64 inputs");
+
+  // Good-machine responses once.
+  std::vector<std::uint64_t> golden;
+  golden.reserve(vectors.size());
+  {
+    Simulator good{netlist};
+    for (const auto v : vectors) {
+      good.set_bus(inputs, v);
+      good.settle();
+      std::uint64_t out = 0;
+      lv::util::require(good.read_bus(outputs, out),
+                        "fault_coverage: X at outputs of the good machine");
+      golden.push_back(out);
+    }
+  }
+
+  CoverageResult result;
+  const auto faults = enumerate_faults(netlist);
+  result.total_faults = faults.size();
+  for (const Fault& fault : faults) {
+    FaultySimulator bad{netlist, fault};
+    bool detected = false;
+    for (std::size_t i = 0; i < vectors.size() && !detected; ++i) {
+      bad.set_bus(inputs, vectors[i]);
+      bad.settle();
+      std::uint64_t out = 0;
+      if (!bad.read_bus(outputs, out) || out != golden[i]) detected = true;
+    }
+    if (detected)
+      ++result.detected;
+    else
+      result.undetected.push_back(fault);
+  }
+  result.coverage =
+      result.total_faults == 0
+          ? 1.0
+          : static_cast<double>(result.detected) /
+                static_cast<double>(result.total_faults);
+  return result;
+}
+
+}  // namespace lv::sim

@@ -1,0 +1,65 @@
+// Stuck-at fault injection and serial fault simulation.
+//
+// Failure-injection support for the logic simulator: a FaultySimulator
+// forces one net to a constant (stuck-at-0/1) regardless of its driver,
+// and `fault_coverage` runs the classic serial fault-simulation loop —
+// for every collapsed fault, replay the vector set against the good
+// machine and count detections at the primary outputs. Used to grade the
+// stimulus generators (random vs counting coverage) and as a harness
+// robustness check: power/timing analyses must keep working on faulty
+// netlists (a bug in a generator shows up here first).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace lv::sim {
+
+struct Fault {
+  circuit::NetId net = 0;
+  circuit::Logic stuck_at = circuit::Logic::zero;  // zero or one
+};
+
+// Simulator wrapper holding one injected fault. The faulty net reports
+// the stuck value; fanout sees it; statistics still accumulate normally.
+class FaultySimulator {
+ public:
+  FaultySimulator(const circuit::Netlist& netlist, Fault fault,
+                  SimConfig config = {});
+
+  void set_input(circuit::NetId net, circuit::Logic value);
+  void set_bus(const circuit::Bus& bus, std::uint64_t value);
+  void settle();
+  circuit::Logic value(circuit::NetId net) const;
+  bool read_bus(const circuit::Bus& bus, std::uint64_t& out) const;
+
+  const Fault& fault() const { return fault_; }
+
+ private:
+  void reassert_fault();
+
+  Simulator sim_;
+  Fault fault_;
+};
+
+// All stuck-at faults on gate-driven nets (two per net), excluding
+// primary inputs and the clock.
+std::vector<Fault> enumerate_faults(const circuit::Netlist& netlist);
+
+struct CoverageResult {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  double coverage = 0.0;  // detected / total
+  std::vector<Fault> undetected;
+};
+
+// Serial fault simulation of combinational netlists: applies each input
+// vector to the good and faulty machines and flags a detection when any
+// primary output differs. `vectors` drive all primary inputs as one
+// packed bus (LSB = first declared input).
+CoverageResult fault_coverage(const circuit::Netlist& netlist,
+                              const std::vector<std::uint64_t>& vectors);
+
+}  // namespace lv::sim

@@ -1,0 +1,212 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lv::sim {
+
+namespace u = lv::util;
+using circuit::CellKind;
+using circuit::InstanceId;
+using circuit::Logic;
+using circuit::NetId;
+
+double ActivityStats::alpha(NetId net) const {
+  if (cycles_ == 0) return 0.0;
+  return static_cast<double>(transitions_.at(net)) / 2.0 /
+         static_cast<double>(cycles_);
+}
+
+double ActivityStats::toggle_rate(NetId net) const {
+  if (cycles_ == 0) return 0.0;
+  return static_cast<double>(transitions_.at(net)) /
+         static_cast<double>(cycles_);
+}
+
+double ActivityStats::glitch_fraction(NetId net) const {
+  const auto toggles = transitions_.at(net);
+  if (toggles == 0) return 0.0;
+  const auto necessary = settled_changes_.at(net);
+  return static_cast<double>(toggles - std::min(toggles, necessary)) /
+         static_cast<double>(toggles);
+}
+
+std::uint64_t ActivityStats::total_transitions() const {
+  std::uint64_t total = 0;
+  for (const auto t : transitions_) total += t;
+  return total;
+}
+
+Simulator::Simulator(const circuit::Netlist& netlist, SimConfig config)
+    : netlist_{netlist},
+      config_{config},
+      values_(netlist.net_count(), Logic::x),
+      scheduled_(netlist.net_count(), Logic::x),
+      settled_(netlist.net_count(), Logic::x),
+      flop_state_(netlist.instance_count(), Logic::x),
+      stats_{netlist.net_count()} {
+  netlist.validate();
+  // Tie cells establish constants immediately.
+  for (InstanceId i = 0; i < netlist_.instance_count(); ++i) {
+    const auto& inst = netlist_.instance(i);
+    if (inst.kind == CellKind::tie0)
+      schedule(inst.output, Logic::zero, 0);
+    else if (inst.kind == CellKind::tie1)
+      schedule(inst.output, Logic::one, 0);
+  }
+  drain_events();
+  std::copy(values_.begin(), values_.end(), settled_.begin());
+  stats_ = ActivityStats{netlist.net_count()};  // discard warm-up toggles
+}
+
+void Simulator::set_input(NetId net, Logic value) {
+  const auto& n = netlist_.net(net);
+  u::require(n.is_primary_input,
+             "Simulator: set_input on non-input net '" + n.name + "'");
+  schedule(net, value, now_);
+}
+
+void Simulator::set_bus(const circuit::Bus& bus, std::uint64_t value) {
+  u::require(bus.size() <= 64, "Simulator: bus wider than 64 bits");
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set_input(bus[i], circuit::from_bool((value >> i) & 1));
+}
+
+bool Simulator::read_bus(const circuit::Bus& bus, std::uint64_t& out) const {
+  u::require(bus.size() <= 64, "Simulator: bus wider than 64 bits");
+  out = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const Logic v = values_.at(bus[i]);
+    if (!circuit::is_known(v)) return false;
+    if (v == Logic::one) out |= (std::uint64_t{1} << i);
+  }
+  return true;
+}
+
+std::uint64_t Simulator::gate_delay(InstanceId id) const {
+  switch (config_.delay_model) {
+    case SimConfig::DelayModel::zero:
+      return 0;
+    case SimConfig::DelayModel::unit:
+      return 1;
+    case SimConfig::DelayModel::load: {
+      const auto& inst = netlist_.instance(id);
+      const auto& info = circuit::cell_info(inst.kind);
+      const double load = static_cast<double>(netlist_.fanout_pins(inst.output));
+      return 1 + static_cast<std::uint64_t>(load / (2.0 * info.drive_mult));
+    }
+  }
+  return 1;
+}
+
+void Simulator::schedule(NetId net, Logic value, std::uint64_t time) {
+  scheduled_[net] = value;
+  queue_.push(Event{time, seq_++, net, value});
+}
+
+void Simulator::evaluate_instance(InstanceId id, std::uint64_t now) {
+  const auto& inst = netlist_.instance(id);
+  const auto& info = circuit::cell_info(inst.kind);
+  if (info.sequential) return;  // flops only change on clock_cycle()
+  std::vector<Logic> ins;
+  ins.reserve(inst.inputs.size());
+  for (const NetId in : inst.inputs) ins.push_back(values_[in]);
+  const Logic out = circuit::evaluate_cell(inst.kind, ins);
+  if (out == scheduled_[inst.output]) return;
+  schedule(inst.output, out, now + gate_delay(id));
+}
+
+void Simulator::apply_event(const Event& event) {
+  const Logic old = values_[event.net];
+  if (old == event.value) return;
+  values_[event.net] = event.value;
+  if (circuit::is_known(old) && circuit::is_known(event.value))
+    ++stats_.transitions_[event.net];
+  for (const InstanceId consumer : netlist_.fanout(event.net))
+    evaluate_instance(consumer, event.time);
+}
+
+void Simulator::drain_events() {
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    const Event e = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, e.time);
+    apply_event(e);
+    u::require(++processed <= config_.max_events_per_settle,
+               "Simulator: event budget exceeded (oscillation?)");
+  }
+}
+
+void Simulator::finish_cycle() {
+  for (NetId n = 0; n < netlist_.net_count(); ++n) {
+    const Logic before = settled_[n];
+    const Logic after = values_[n];
+    if (circuit::is_known(before) && circuit::is_known(after) &&
+        before != after)
+      ++stats_.settled_changes_[n];
+    settled_[n] = after;
+  }
+  ++stats_.cycles_;
+}
+
+void Simulator::settle() {
+  drain_events();
+  finish_cycle();
+}
+
+void Simulator::clock_cycle() {
+  // Phase 1: all enabled flops sample D simultaneously (master-slave
+  // semantics — captured values are the pre-edge ones).
+  std::vector<std::pair<InstanceId, Logic>> captures;
+  for (const InstanceId i : netlist_.sequential_instances()) {
+    const auto& inst = netlist_.instance(i);
+    if (!inst.module.empty() &&
+        disabled_modules_.count(inst.module) != 0)
+      continue;  // gated clock: flop holds state, no internal switching
+    captures.emplace_back(i, values_[inst.inputs[0]]);
+  }
+  // Phase 2: launch new Q values.
+  for (const auto& [id, d] : captures) {
+    flop_state_[id] = d;
+    const NetId q = netlist_.instance(id).output;
+    if (values_[q] != d) schedule(q, d, now_ + 1);
+  }
+  settle();
+}
+
+void Simulator::reset_flops(Logic value) {
+  for (const InstanceId i : netlist_.sequential_instances()) {
+    flop_state_[i] = value;
+    const NetId q = netlist_.instance(i).output;
+    if (values_[q] != value) schedule(q, value, now_);
+  }
+  drain_events();
+  std::copy(values_.begin(), values_.end(), settled_.begin());
+}
+
+void Simulator::force_net(NetId net, Logic value) {
+  u::require(net < netlist_.net_count(), "force_net: net out of range");
+  schedule(net, value, now_);
+  drain_events();
+}
+
+void Simulator::set_module_clock_enable(const std::string& module,
+                                        bool enabled) {
+  if (enabled)
+    disabled_modules_.erase(module);
+  else
+    disabled_modules_.insert(module);
+}
+
+bool Simulator::module_clock_enabled(const std::string& module) const {
+  return disabled_modules_.count(module) == 0;
+}
+
+void Simulator::clear_stats() {
+  stats_ = ActivityStats{netlist_.net_count()};
+  std::copy(values_.begin(), values_.end(), settled_.begin());
+}
+
+}  // namespace lv::sim

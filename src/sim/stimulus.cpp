@@ -1,0 +1,109 @@
+#include "sim/stimulus.hpp"
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace lv::sim {
+
+namespace u = lv::util;
+
+namespace {
+
+std::uint64_t mask_for(int bits) {
+  u::require(bits >= 1 && bits <= 64, "stimulus: bits must be in [1, 64]");
+  return bits == 64 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << bits) - 1);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> random_vectors(std::size_t count, int bits,
+                                          std::uint64_t seed) {
+  const std::uint64_t mask = mask_for(bits);
+  u::Xoshiro256 rng{seed};
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(rng.next_u64() & mask);
+  return out;
+}
+
+std::vector<std::uint64_t> counting_vectors(std::size_t count, int bits,
+                                            std::uint64_t start) {
+  const std::uint64_t mask = mask_for(bits);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    out.push_back((start + i) & mask);
+  return out;
+}
+
+std::vector<std::uint64_t> gray_vectors(std::size_t count, int bits,
+                                        std::uint64_t start) {
+  const std::uint64_t mask = mask_for(bits);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t n = (start + i) & mask;
+    out.push_back((n ^ (n >> 1)) & mask);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> random_walk_vectors(std::size_t count, int bits,
+                                               std::uint64_t step,
+                                               std::uint64_t seed) {
+  const std::uint64_t mask = mask_for(bits);
+  u::Xoshiro256 rng{seed};
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::uint64_t v = mask / 2;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto delta = static_cast<std::int64_t>(rng.next_below(2 * step + 1)) -
+                       static_cast<std::int64_t>(step);
+    std::int64_t next = static_cast<std::int64_t>(v) + delta;
+    next = std::max<std::int64_t>(0, std::min(next, static_cast<std::int64_t>(mask)));
+    v = static_cast<std::uint64_t>(next);
+    out.push_back(v);
+  }
+  return out;
+}
+
+void run_two_operand_workload(Simulator& sim, const circuit::Bus& a,
+                              const circuit::Bus& b,
+                              const std::vector<std::uint64_t>& a_vectors,
+                              const std::vector<std::uint64_t>& b_vectors) {
+  u::require(a_vectors.size() == b_vectors.size(),
+             "run_two_operand_workload: vector count mismatch");
+  for (std::size_t i = 0; i < a_vectors.size(); ++i) {
+    sim.set_bus(a, a_vectors[i]);
+    sim.set_bus(b, b_vectors[i]);
+    sim.settle();
+  }
+}
+
+lv::util::Histogram activity_histogram(const Simulator& sim, std::size_t bins,
+                                       double max_probability) {
+  const auto& nl = sim.netlist();
+  lv::util::Histogram hist{0.0, max_probability, bins};
+  for (circuit::NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.is_primary_input || net.is_clock) continue;
+    hist.add(sim.stats().toggle_rate(n));
+  }
+  return hist;
+}
+
+double mean_alpha(const Simulator& sim) {
+  const auto& nl = sim.netlist();
+  double sum = 0.0;
+  std::size_t nodes = 0;
+  for (circuit::NetId n = 0; n < nl.net_count(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.is_primary_input || net.is_clock) continue;
+    sum += sim.stats().alpha(n);
+    ++nodes;
+  }
+  return nodes == 0 ? 0.0 : sum / static_cast<double>(nodes);
+}
+
+}  // namespace lv::sim

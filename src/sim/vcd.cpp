@@ -1,0 +1,63 @@
+#include "sim/vcd.hpp"
+
+#include <sstream>
+
+namespace lv::sim {
+
+using circuit::Logic;
+using circuit::NetId;
+
+VcdRecorder::VcdRecorder(const Simulator& simulator, std::string timescale,
+                         std::uint64_t time_step)
+    : simulator_{simulator},
+      timescale_{std::move(timescale)},
+      time_step_{time_step},
+      last_(simulator.netlist().net_count(), Logic::x) {}
+
+std::string VcdRecorder::id_code(std::size_t index) {
+  // Printable-ASCII base-94 identifiers, per the VCD convention.
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+void VcdRecorder::sample() {
+  std::ostringstream out;
+  out << '#' << sample_count_ * time_step_ << '\n';
+  const auto& nl = simulator_.netlist();
+  bool any = false;
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    const Logic v = simulator_.value(n);
+    if (sample_count_ > 0 && v == last_[n]) continue;
+    out << circuit::to_char(v) << id_code(n) << '\n';
+    last_[n] = v;
+    any = true;
+  }
+  if (any || sample_count_ == 0) body_ += out.str();
+  ++sample_count_;
+}
+
+std::string VcdRecorder::render() const {
+  std::ostringstream out;
+  out << "$date lvsim $end\n";
+  out << "$version lvsim 1.0 $end\n";
+  out << "$timescale " << timescale_ << " $end\n";
+  out << "$scope module top $end\n";
+  const auto& nl = simulator_.netlist();
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    // VCD identifiers must not contain whitespace; net names from the
+    // generators are already identifier-safe.
+    out << "$var wire 1 " << id_code(n) << ' ' << nl.net(n).name
+        << " $end\n";
+  }
+  out << "$upscope $end\n";
+  out << "$enddefinitions $end\n";
+  out << "$dumpvars\n";
+  out << body_;
+  return out.str();
+}
+
+}  // namespace lv::sim

@@ -1,0 +1,45 @@
+// VCD (Value Change Dump, IEEE 1364) waveform recording for the logic
+// simulator. A VcdRecorder snapshots net values after every settle() /
+// clock_cycle() the caller reports, producing standard $var/$dumpvars
+// sections loadable in GTKWave & co. — table-stakes for a usable logic
+// simulator and handy when debugging glitch behaviour in the activity
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace lv::sim {
+
+class VcdRecorder {
+ public:
+  // Records all nets of the simulator's netlist. `timescale` is the VCD
+  // timescale string (e.g. "1ns"); each sample() advances time by
+  // `time_step` units.
+  VcdRecorder(const Simulator& simulator, std::string timescale = "1ns",
+              std::uint64_t time_step = 1);
+
+  // Captures the current net values as one VCD time step (only changed
+  // nets are emitted, per the format).
+  void sample();
+
+  // Complete VCD document (header + recorded changes).
+  std::string render() const;
+
+  std::uint64_t samples() const { return sample_count_; }
+
+ private:
+  static std::string id_code(std::size_t index);
+
+  const Simulator& simulator_;
+  std::string timescale_;
+  std::uint64_t time_step_;
+  std::uint64_t sample_count_ = 0;
+  std::vector<circuit::Logic> last_;
+  std::string body_;
+};
+
+}  // namespace lv::sim

@@ -1,0 +1,94 @@
+#include "timing/delay_model.hpp"
+
+#include "device/capacitance.hpp"
+#include "util/error.hpp"
+
+namespace lv::timing {
+
+namespace {
+
+// Gate overdrive below which we declare the operating point infeasible
+// (the alpha-power model is meaningless when the device is sub-threshold
+// for the whole transition).
+constexpr double kMinOverdrive = 0.02;  // [V]
+
+}  // namespace
+
+DelayModel::DelayModel(const tech::Process& process, double vdd,
+                       double vt_shift)
+    : process_{process}, vdd_{vdd}, vt_shift_{vt_shift} {
+  lv::util::require(vdd > 0.0, "DelayModel: vdd must be > 0");
+  const auto n = process.make_nmos(1.0, vt_shift);
+  const auto p = process.make_pmos(1.0, vt_shift);
+  unit_drive_ = 0.5 * (n.on_current(vdd, 0.0, process.temp_k) +
+                       p.on_current(vdd, 0.0, process.temp_k));
+  const device::CapacitanceModel ncap = process.nmos_caps(1.0);
+  const device::CapacitanceModel pcap = process.pmos_caps(1.0);
+  fo1_cap_ = ncap.input_cap_effective(vdd) + pcap.input_cap_effective(vdd) +
+             ncap.drive_parasitic_effective(vdd) +
+             pcap.drive_parasitic_effective(vdd);
+}
+
+double DelayModel::unit_drive_current() const { return unit_drive_; }
+
+bool DelayModel::feasible() const {
+  const auto n = process_.make_nmos(1.0, vt_shift_);
+  return vdd_ - n.threshold(0.0, vdd_, process_.temp_k) > kMinOverdrive;
+}
+
+double DelayModel::delay_for_load(double c_load, double drive_mult) const {
+  lv::util::require(drive_mult > 0.0, "DelayModel: drive must be > 0");
+  if (unit_drive_ <= 0.0) return 1.0;  // effectively infinite (1 second)
+  return c_load * vdd_ / (2.0 * drive_mult * unit_drive_);
+}
+
+double DelayModel::instance_delay(const circuit::Netlist& netlist,
+                                  const circuit::LoadModel& loads,
+                                  circuit::InstanceId instance) const {
+  const auto& inst = netlist.instance(instance);
+  const auto& info = circuit::cell_info(inst.kind);
+  return delay_for_load(loads.net_load(inst.output), info.drive_mult);
+}
+
+double DelayModel::inverter_fo1_delay() const {
+  return delay_for_load(fo1_cap_, 1.0);
+}
+
+double RingOscillator::stage_delay(const tech::Process& process, double vdd,
+                                   double vt_shift) const {
+  const DelayModel dm{process, vdd, vt_shift};
+  return dm.inverter_fo1_delay();
+}
+
+double RingOscillator::period(const tech::Process& process, double vdd,
+                              double vt_shift) const {
+  return 2.0 * stages * stage_delay(process, vdd, vt_shift);
+}
+
+double RingOscillator::frequency(const tech::Process& process, double vdd,
+                                 double vt_shift) const {
+  const double t = period(process, vdd, vt_shift);
+  return t > 0.0 ? 1.0 / t : 0.0;
+}
+
+double RingOscillator::switched_cap_per_period(const tech::Process& process,
+                                               double vdd) const {
+  const device::CapacitanceModel ncap = process.nmos_caps(1.0);
+  const device::CapacitanceModel pcap = process.pmos_caps(1.0);
+  const double fo1 =
+      ncap.input_cap_effective(vdd) + pcap.input_cap_effective(vdd) +
+      ncap.drive_parasitic_effective(vdd) + pcap.drive_parasitic_effective(vdd);
+  return stages * fo1;
+}
+
+double RingOscillator::leakage_current(const tech::Process& process,
+                                       double vdd, double vt_shift) const {
+  const auto n = process.make_nmos(1.0, vt_shift);
+  const auto p = process.make_pmos(1.0, vt_shift);
+  // Half the stages leak through the NMOS (output high), half through the
+  // PMOS (output low).
+  return 0.5 * stages * (n.off_current(vdd, 0.0, process.temp_k) +
+                         p.off_current(vdd, 0.0, process.temp_k));
+}
+
+}  // namespace lv::timing

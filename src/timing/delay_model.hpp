@@ -1,0 +1,80 @@
+// Gate-delay model from the alpha-power law (Sakurai-Newton):
+//
+//     t_d = k * C_L * V_DD / I_dsat(V_DD, V_T)
+//         ~ C_L * V_DD / (2 * k_drive * (V_DD - V_T)^alpha)
+//
+// This is the delay expression behind the paper's Figs. 3-4: lowering V_T
+// lets V_DD drop at constant delay; the iso-delay contour V_DD(V_T) and
+// the fixed-throughput energy optimum both come from inverting it.
+#pragma once
+
+#include "circuit/load_model.hpp"
+#include "circuit/netlist.hpp"
+#include "tech/process.hpp"
+
+namespace lv::timing {
+
+class DelayModel {
+ public:
+  // `vt_shift` is added to both polarities' thresholds (back-gate bias,
+  // body bias, or a dual-VT flavor choice).
+  DelayModel(const tech::Process& process, double vdd, double vt_shift = 0.0);
+
+  double vdd() const { return vdd_; }
+  double vt_shift() const { return vt_shift_; }
+
+  // Average N/P drive current of a unit inverter at full gate drive [A].
+  double unit_drive_current() const;
+
+  // Delay of a driver with strength `drive_mult` into load `c_load` [s]:
+  // t = c_load * vdd / (2 * drive_mult * unit_drive_current()).
+  double delay_for_load(double c_load, double drive_mult = 1.0) const;
+
+  // Delay of one netlist instance given a LoadModel built at the same vdd.
+  double instance_delay(const circuit::Netlist& netlist,
+                        const circuit::LoadModel& loads,
+                        circuit::InstanceId instance) const;
+
+  // Fanout-of-1 inverter stage delay [s] — the ring-oscillator stage used
+  // by the Figs. 3-4 experiments.
+  double inverter_fo1_delay() const;
+
+  // True when the device barely conducts at this (vdd, vt) point (the
+  // delay model diverges; callers should treat the point as infeasible).
+  bool feasible() const;
+
+  const tech::Process& process() const { return process_; }
+
+ private:
+  // Stored by value: Process is a small parameter bundle and callers often
+  // pass factory temporaries (tech::soi_low_vt()).
+  tech::Process process_;
+  double vdd_;
+  double vt_shift_;
+  double unit_drive_;  // cached average on-current [A]
+  double fo1_cap_;     // cached FO1 load [F]
+};
+
+// N-stage ring oscillator (odd N): period = 2 * N * stage delay;
+// frequency = 1 / period. The paper extracts its iso-delay V_DD vs V_T
+// curves (Fig. 3) and energy-vs-V_T curves (Fig. 4) from exactly this
+// structure.
+struct RingOscillator {
+  int stages = 101;
+
+  double stage_delay(const tech::Process& process, double vdd,
+                     double vt_shift) const;
+  double period(const tech::Process& process, double vdd,
+                double vt_shift) const;
+  double frequency(const tech::Process& process, double vdd,
+                   double vt_shift) const;
+  // Total effective switched capacitance per period [F]: every stage's
+  // FO1 load charges and discharges once per period.
+  double switched_cap_per_period(const tech::Process& process,
+                                 double vdd) const;
+  // Total leakage current of the ring [A] (all stages, state-averaged).
+  double leakage_current(const tech::Process& process, double vdd,
+                         double vt_shift) const;
+};
+
+}  // namespace lv::timing

@@ -1,0 +1,40 @@
+// Critical-path enumeration and slack distribution analysis.
+//
+// Sta::run reports one critical path; design work (dual-VT assignment
+// review, path balancing against glitches) wants the K most critical
+// paths and the slack histogram. Paths are enumerated by a bounded
+// best-first walk backwards from the worst endpoints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "timing/sta.hpp"
+#include "util/statistics.hpp"
+
+namespace lv::timing {
+
+struct TimingPath {
+  std::vector<circuit::InstanceId> instances;  // source to endpoint
+  double arrival = 0.0;  // endpoint arrival time [s]
+};
+
+// The K paths with the latest endpoint arrivals (distinct endpoints or
+// distinct branch decisions along the way). Requires a prior StaResult
+// from the same netlist. `k` <= 64.
+std::vector<TimingPath> enumerate_critical_paths(
+    const circuit::Netlist& netlist, const StaResult& sta_result, int k);
+
+// Slack histogram over all instances against the clock period used for
+// the StaResult (bins below zero capture violations).
+lv::util::Histogram slack_histogram(const StaResult& sta_result,
+                                    double clock_period, std::size_t bins);
+
+// Imbalance metric feeding glitch analysis: for each instance with >= 2
+// inputs, the spread between earliest and latest input arrival, summed
+// over the netlist [s]. Zero means perfectly balanced arrival times (no
+// structural glitch sources).
+double total_arrival_imbalance(const circuit::Netlist& netlist,
+                               const StaResult& sta_result);
+
+}  // namespace lv::timing

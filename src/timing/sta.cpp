@@ -1,0 +1,141 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace lv::timing {
+
+namespace u = lv::util;
+using circuit::InstanceId;
+using circuit::NetId;
+
+Sta::Sta(const circuit::Netlist& netlist, const tech::Process& process,
+         double vdd)
+    : netlist_{netlist}, process_{process}, vdd_{vdd},
+      loads_{netlist, process, vdd} {
+  netlist.validate();
+}
+
+StaResult Sta::run(double clock_period) const {
+  return run(clock_period,
+             std::vector<double>(netlist_.instance_count(), 0.0));
+}
+
+StaResult Sta::run(double clock_period,
+                   const std::vector<double>& instance_vt_shift) const {
+  return run_impl(clock_period, instance_vt_shift, nullptr, loads_);
+}
+
+StaResult Sta::run(double clock_period,
+                   const std::vector<double>& instance_vt_shift,
+                   const std::vector<double>& instance_sizes) const {
+  u::require(instance_sizes.size() == netlist_.instance_count(),
+             "Sta: size vector size mismatch");
+  const circuit::LoadModel sized_loads{netlist_, process_, vdd_,
+                                       instance_sizes};
+  return run_impl(clock_period, instance_vt_shift, &instance_sizes,
+                  sized_loads);
+}
+
+StaResult Sta::run_impl(double clock_period,
+                        const std::vector<double>& instance_vt_shift,
+                        const std::vector<double>* instance_sizes,
+                        const circuit::LoadModel& loads) const {
+  u::require(instance_vt_shift.size() == netlist_.instance_count(),
+             "Sta: vt_shift vector size mismatch");
+
+  StaResult r;
+  r.net_arrival.assign(netlist_.net_count(), 0.0);
+  r.instance_delay.assign(netlist_.instance_count(), 0.0);
+  r.instance_slack.assign(netlist_.instance_count(),
+                          std::numeric_limits<double>::infinity());
+
+  // Two delay models bracket the VT flavors; per-instance delay uses the
+  // model matching its shift. Distinct shifts are expected to be few
+  // (uniform or dual-VT), so cache by value.
+  std::vector<std::pair<double, DelayModel>> models;
+  auto model_for = [&](double shift) -> const DelayModel& {
+    for (const auto& [s, m] : models)
+      if (s == shift) return m;
+    models.emplace_back(shift, DelayModel{process_, vdd_, shift});
+    return models.back().second;
+  };
+
+  // Forward pass: arrival times in topological order.
+  const auto& order = netlist_.topo_order();
+  for (const InstanceId i : order) {
+    const auto& inst = netlist_.instance(i);
+    const DelayModel& dm = model_for(instance_vt_shift[i]);
+    const double size =
+        instance_sizes == nullptr ? 1.0 : (*instance_sizes)[i];
+    const auto& info = circuit::cell_info(inst.kind);
+    const double d = dm.delay_for_load(loads.net_load(inst.output),
+                                       info.drive_mult * size);
+    r.instance_delay[i] = d;
+    double arrive = 0.0;
+    for (const NetId in : inst.inputs)
+      arrive = std::max(arrive, r.net_arrival[in]);
+    r.net_arrival[inst.output] = arrive + d;
+  }
+
+  // Endpoints: primary outputs and flop D pins.
+  auto is_endpoint_net = [&](NetId n) {
+    if (netlist_.net(n).is_primary_output) return true;
+    for (const InstanceId consumer : netlist_.fanout(n))
+      if (circuit::cell_info(netlist_.instance(consumer).kind).sequential)
+        return true;
+    return false;
+  };
+  NetId worst_net = circuit::kInvalidNet;
+  for (NetId n = 0; n < netlist_.net_count(); ++n) {
+    if (!is_endpoint_net(n)) continue;
+    if (r.net_arrival[n] > r.critical_delay) {
+      r.critical_delay = r.net_arrival[n];
+      worst_net = n;
+    }
+  }
+
+  // Trace one critical path backwards from the worst endpoint.
+  {
+    NetId n = worst_net;
+    while (n != circuit::kInvalidNet) {
+      const InstanceId drv = netlist_.net(n).driver;
+      if (drv == ~InstanceId{0}) break;
+      const auto& inst = netlist_.instance(drv);
+      if (circuit::cell_info(inst.kind).sequential) break;
+      r.critical_path.push_back(drv);
+      // Predecessor with the latest arrival dominates.
+      NetId next = circuit::kInvalidNet;
+      double best = -1.0;
+      for (const NetId in : inst.inputs) {
+        if (r.net_arrival[in] > best) {
+          best = r.net_arrival[in];
+          next = in;
+        }
+      }
+      n = (best > 0.0) ? next : circuit::kInvalidNet;
+    }
+    std::reverse(r.critical_path.begin(), r.critical_path.end());
+  }
+
+  // Backward pass: required times against the clock period.
+  std::vector<double> net_required(netlist_.net_count(),
+                                   std::numeric_limits<double>::infinity());
+  for (NetId n = 0; n < netlist_.net_count(); ++n)
+    if (is_endpoint_net(n)) net_required[n] = clock_period;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const InstanceId i = *it;
+    const auto& inst = netlist_.instance(i);
+    const double input_required =
+        net_required[inst.output] - r.instance_delay[i];
+    for (const NetId in : inst.inputs)
+      net_required[in] = std::min(net_required[in], input_required);
+    r.instance_slack[i] = net_required[inst.output] -
+                          r.net_arrival[inst.output];
+  }
+  return r;
+}
+
+}  // namespace lv::timing

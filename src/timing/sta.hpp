@@ -1,0 +1,68 @@
+// Static timing analysis over a Netlist: arrival times, critical path, and
+// per-instance slack against a target clock period. The slack view feeds
+// the dual-VT assignment optimizer (non-critical gates can take the
+// high-VT, low-leakage flavor without hurting the cycle time).
+//
+// Per-instance VT flavor is supported through an optional per-instance
+// vt_shift vector, so the same STA engine times both uniform-VT and
+// mixed-VT netlists.
+#pragma once
+
+#include <vector>
+
+#include "timing/delay_model.hpp"
+
+namespace lv::timing {
+
+struct StaResult {
+  // Arrival time at each net [s] (primary inputs and flop outputs at 0).
+  std::vector<double> net_arrival;
+  // Delay of each instance [s].
+  std::vector<double> instance_delay;
+  // Latest arrival over all timing endpoints (primary outputs and flop
+  // D-inputs) [s] — the minimum feasible clock period for the data path.
+  double critical_delay = 0.0;
+  // Instances on (one) critical path, source to endpoint.
+  std::vector<circuit::InstanceId> critical_path;
+
+  // Slack of each instance against `clock_period`: how much this
+  // instance's output arrival can grow before some endpoint through it
+  // violates the period. Computed via required-time propagation.
+  std::vector<double> instance_slack;
+};
+
+class Sta {
+ public:
+  Sta(const circuit::Netlist& netlist, const tech::Process& process,
+      double vdd);
+
+  // Uniform VT (all instances at the process's nominal threshold).
+  StaResult run(double clock_period) const;
+
+  // Mixed VT: vt_shift[i] is added to instance i's devices. Vector must
+  // have instance_count entries.
+  StaResult run(double clock_period,
+                const std::vector<double>& instance_vt_shift) const;
+
+  // Mixed VT + per-instance sizing: `instance_sizes[i]` scales instance
+  // i's drive strength and input capacitance (a fresh LoadModel is built
+  // for the sized netlist). Both vectors need instance_count entries.
+  StaResult run(double clock_period,
+                const std::vector<double>& instance_vt_shift,
+                const std::vector<double>& instance_sizes) const;
+
+ private:
+  StaResult run_impl(double clock_period,
+                     const std::vector<double>& instance_vt_shift,
+                     const std::vector<double>* instance_sizes,
+                     const circuit::LoadModel& loads) const;
+
+  const circuit::Netlist& netlist_;
+  // Stored by value: Process is a small parameter bundle and callers often
+  // pass factory temporaries (tech::soi_low_vt()).
+  tech::Process process_;
+  double vdd_;
+  circuit::LoadModel loads_;
+};
+
+}  // namespace lv::timing

@@ -1,0 +1,185 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lv::util {
+namespace {
+
+constexpr const char kGlyphs[] = {'o', '*', '+', 'x', '#', '@', '%', '&'};
+
+double maybe_log(double v, bool log_axis) {
+  return log_axis ? std::log10(v) : v;
+}
+
+bool usable(double v, bool log_axis) {
+  if (!std::isfinite(v)) return false;
+  return !log_axis || v > 0.0;
+}
+
+std::string format_tick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_xy(const std::vector<Series>& series,
+                      const PlotOptions& options) {
+  require(options.width >= 16 && options.height >= 4,
+          "render_xy: plot box too small");
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series) {
+    require(s.xs.size() == s.ys.size(), "render_xy: xs/ys size mismatch");
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!usable(s.xs[i], options.log_x) || !usable(s.ys[i], options.log_y))
+        continue;
+      const double x = maybe_log(s.xs[i], options.log_x);
+      const double y = maybe_log(s.ys[i], options.log_y);
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (!(x_min < x_max)) {
+    x_min -= 1.0;
+    x_max += 1.0;
+  }
+  if (!(y_min < y_max)) {
+    y_min -= 1.0;
+    y_max += 1.0;
+  }
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof kGlyphs)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!usable(s.xs[i], options.log_x) || !usable(s.ys[i], options.log_y))
+        continue;
+      const double fx =
+          (maybe_log(s.xs[i], options.log_x) - x_min) / (x_max - x_min);
+      const double fy =
+          (maybe_log(s.ys[i], options.log_y) - y_min) / (y_max - y_min);
+      const int col = std::clamp(static_cast<int>(fx * (w - 1) + 0.5), 0, w - 1);
+      const int row =
+          std::clamp(h - 1 - static_cast<int>(fy * (h - 1) + 0.5), 0, h - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  const std::string y_hi = format_tick(options.log_y ? std::pow(10, y_max) : y_max);
+  const std::string y_lo = format_tick(options.log_y ? std::pow(10, y_min) : y_min);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size());
+  for (int r = 0; r < h; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = y_hi + std::string(margin - y_hi.size(), ' ');
+    if (r == h - 1) label = y_lo + std::string(margin - y_lo.size(), ' ');
+    out << label << " |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(margin, ' ') << " +" << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  const std::string x_lo = format_tick(options.log_x ? std::pow(10, x_min) : x_min);
+  const std::string x_hi = format_tick(options.log_x ? std::pow(10, x_max) : x_max);
+  out << std::string(margin, ' ') << "  " << x_lo
+      << std::string(static_cast<std::size_t>(std::max(
+             1, w - static_cast<int>(x_lo.size() + x_hi.size()))), ' ')
+      << x_hi << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty())
+    out << "x: " << options.x_label << "   y: " << options.y_label << '\n';
+  std::string legend;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    legend += (si ? "   " : "");
+    legend += kGlyphs[si % (sizeof kGlyphs)];
+    legend += " = " + series[si].name;
+  }
+  if (!legend.empty()) out << legend << '\n';
+  return out.str();
+}
+
+std::string render_histogram(const Histogram& histogram,
+                             const std::string& title, int max_bar) {
+  std::uint64_t peak = 1;
+  for (std::size_t b = 0; b < histogram.bins(); ++b)
+    peak = std::max(peak, histogram.count(b));
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  for (std::size_t b = 0; b < histogram.bins(); ++b) {
+    char label[48];
+    std::snprintf(label, sizeof label, "[%5.2f,%5.2f)", histogram.bin_lo(b),
+                  histogram.bin_hi(b));
+    const auto n = histogram.count(b);
+    const int bar = static_cast<int>(
+        (static_cast<double>(n) / static_cast<double>(peak)) * max_bar + 0.5);
+    out << label << ' ' << std::string(static_cast<std::size_t>(bar), '#')
+        << ' ' << n << '\n';
+  }
+  out << "total samples: " << histogram.total() << '\n';
+  return out.str();
+}
+
+std::string render_heatmap(const std::vector<std::vector<double>>& values,
+                           const std::string& title, bool mark_zero_crossing) {
+  require(!values.empty() && !values.front().empty(),
+          "render_heatmap: empty matrix");
+  const std::string shades = " .:-=+*#%@";
+  double v_min = std::numeric_limits<double>::infinity();
+  double v_max = -v_min;
+  for (const auto& row : values)
+    for (const double v : row) {
+      if (!std::isfinite(v)) continue;
+      v_min = std::min(v_min, v);
+      v_max = std::max(v_max, v);
+    }
+  if (!(v_min < v_max)) {
+    v_min -= 1.0;
+    v_max += 1.0;
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  for (const auto& row : values) {
+    std::string line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const double v = row[c];
+      bool zero_cross = false;
+      if (mark_zero_crossing && c + 1 < row.size())
+        zero_cross = (v <= 0.0) != (row[c + 1] <= 0.0);
+      if (zero_cross) {
+        line += '0';
+        continue;
+      }
+      const double f = (v - v_min) / (v_max - v_min);
+      const auto idx = static_cast<std::size_t>(
+          std::clamp(f, 0.0, 1.0) * static_cast<double>(shades.size() - 1));
+      line += shades[idx];
+    }
+    out << line << '\n';
+  }
+  char legend[96];
+  std::snprintf(legend, sizeof legend,
+                "shade ' '=%.3g ... '@'=%.3g%s\n", v_min, v_max,
+                mark_zero_crossing ? "   ('0' = zero crossing)" : "");
+  out << legend;
+  return out.str();
+}
+
+}  // namespace lv::util

@@ -1,0 +1,48 @@
+// Terminal renderings for the paper's figures: XY scatter/line plots,
+// horizontal-bar histograms, and character-shaded contour maps. Benches use
+// these so the regenerated figures are inspectable without a plotting stack.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/statistics.hpp"
+
+namespace lv::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct PlotOptions {
+  int width = 72;        // plot body width in characters
+  int height = 20;       // plot body height in characters
+  bool log_x = false;    // log10 x axis
+  bool log_y = false;    // log10 y axis
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+// Renders one or more series on a shared axis box. Each series uses its own
+// glyph (o, *, +, x, ...). NaN/infinite points and non-positive values on a
+// log axis are skipped.
+std::string render_xy(const std::vector<Series>& series,
+                      const PlotOptions& options);
+
+// Renders a histogram as horizontal bars, one row per bin:
+//   [0.10,0.20) ############ 42
+std::string render_histogram(const Histogram& histogram,
+                             const std::string& title, int max_bar = 50);
+
+// Renders a matrix of values as a shaded character map with a value legend.
+// `values[r][c]` maps to row r (top row printed first), column c. Used for
+// the log(E_SOIAS/E_SOI) contour of Fig. 10; the `zero_marks` overlay
+// string (e.g. "0") is drawn on cells whose value straddles zero between
+// horizontal neighbours (the breakeven contour).
+std::string render_heatmap(const std::vector<std::vector<double>>& values,
+                           const std::string& title, bool mark_zero_crossing);
+
+}  // namespace lv::util

@@ -1,0 +1,63 @@
+// Streaming statistics and histograms. Histograms back the node-transition
+// activity plots of the paper (Figs. 8-9: number of nodes vs transition
+// probability for an 8-bit ripple-carry adder).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lv::util {
+
+// Welford-style streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  // Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bin histogram over [lo, hi). Values outside the range are clamped
+// into the first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  double bin_center(std::size_t bin) const;
+  // Fraction of all samples that fell in `bin` (0 when empty).
+  double fraction(std::size_t bin) const;
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lv::util

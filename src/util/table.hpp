@@ -1,0 +1,42 @@
+// Column-oriented result table with aligned ASCII and CSV rendering.
+// Every bench binary prints its figure/table data through this class so
+// output format stays uniform and machine-extractable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lv::util {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> cells);
+
+  // Number formatting for double cells (printf-style, default "%.6g").
+  void set_double_format(std::string fmt) { double_format_ = std::move(fmt); }
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+  const Cell& at(std::size_t row, std::size_t col) const;
+
+  // Aligned, boxed ASCII rendering.
+  std::string to_ascii() const;
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  std::string double_format_ = "%.6g";
+};
+
+}  // namespace lv::util

@@ -1,0 +1,50 @@
+// Physical constants and SI unit helpers used across lvsim.
+//
+// Everything in lvsim is expressed in base SI units (volts, amperes,
+// farads, seconds, joules, meters). The helpers below exist so that call
+// sites can say `4.5 * nano` instead of 4.5e-9 and stay readable.
+#pragma once
+
+namespace lv::util {
+
+// ---- SI scale factors -----------------------------------------------------
+inline constexpr double tera = 1e12;
+inline constexpr double giga = 1e9;
+inline constexpr double mega = 1e6;
+inline constexpr double kilo = 1e3;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano = 1e-9;
+inline constexpr double pico = 1e-12;
+inline constexpr double femto = 1e-15;
+inline constexpr double atto = 1e-18;
+
+// ---- Physical constants ---------------------------------------------------
+// Boltzmann constant [J/K].
+inline constexpr double k_boltzmann = 1.380649e-23;
+// Elementary charge [C].
+inline constexpr double q_electron = 1.602176634e-19;
+// Vacuum permittivity [F/m].
+inline constexpr double eps0 = 8.8541878128e-12;
+// Relative permittivity of silicon and silicon dioxide.
+inline constexpr double eps_si_rel = 11.7;
+inline constexpr double eps_ox_rel = 3.9;
+// Absolute permittivities [F/m].
+inline constexpr double eps_si = eps_si_rel * eps0;
+inline constexpr double eps_ox = eps_ox_rel * eps0;
+
+// Room temperature [K] used as the default operating point.
+inline constexpr double room_temperature_k = 300.0;
+
+// Thermal voltage kT/q [V] at temperature `temp_k`.
+// At 300 K this is ~25.85 mV; the paper's sub-threshold slope discussion
+// (60-90 mV/decade) is n * Vt * ln(10) with n in [1, 1.5].
+constexpr double thermal_voltage(double temp_k = room_temperature_k) {
+  return k_boltzmann * temp_k / q_electron;
+}
+
+// Natural log of 10, used when converting sub-threshold slope between
+// e-folds and decades.
+inline constexpr double ln10 = 2.302585092994046;
+
+}  // namespace lv::util

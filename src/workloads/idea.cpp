@@ -1,0 +1,198 @@
+#include "workloads/idea.hpp"
+
+#include <sstream>
+
+#include "util/random.hpp"
+
+namespace lv::workloads {
+
+std::uint16_t idea_mul(std::uint16_t a, std::uint16_t b) {
+  // 0 represents 2^16 == -1 (mod 2^16 + 1).
+  if (a == 0) return static_cast<std::uint16_t>(65537u - b);  // (-1) * b
+  if (b == 0) return static_cast<std::uint16_t>(65537u - a);
+  const std::uint32_t p = static_cast<std::uint32_t>(a) * b;
+  const std::uint32_t lo = p & 0xffffu;
+  const std::uint32_t hi = p >> 16;
+  // (lo - hi) mod 65537; the product of two nonzero residues is never
+  // congruent to 2^16... it can be, but the 16-bit truncation below is
+  // exactly the inverse zero convention.
+  return static_cast<std::uint16_t>(lo - hi + (lo < hi ? 65537u : 0u));
+}
+
+IdeaSubkeys idea_expand_key(const IdeaKey& key) {
+  IdeaSubkeys out{};
+  // Work on the key as a 128-bit integer split into 16-bit words; each
+  // batch of 8 subkeys is followed by a 25-bit left rotation.
+  std::array<std::uint16_t, 8> k = key;
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    for (std::size_t i = 0; i < 8 && produced < out.size(); ++i)
+      out[produced++] = k[i];
+    // Rotate the 128-bit word left by 25 bits.
+    std::array<std::uint16_t, 8> r{};
+    for (std::size_t i = 0; i < 8; ++i) {
+      // Bit j of result word i comes from position (16*i + j + 25) mod 128.
+      std::uint16_t w = 0;
+      for (int j = 0; j < 16; ++j) {
+        const std::size_t src = (16 * i + static_cast<std::size_t>(j) + 25) % 128;
+        const std::uint16_t bit =
+            static_cast<std::uint16_t>((k[src / 16] >> (15 - src % 16)) & 1u);
+        w = static_cast<std::uint16_t>((w << 1) | bit);
+      }
+      r[i] = w;
+    }
+    k = r;
+  }
+  return out;
+}
+
+IdeaBlock idea_encrypt_block(const IdeaBlock& block,
+                             const IdeaSubkeys& ks) {
+  std::uint16_t x1 = block[0];
+  std::uint16_t x2 = block[1];
+  std::uint16_t x3 = block[2];
+  std::uint16_t x4 = block[3];
+  std::size_t k = 0;
+  for (int round = 0; round < 8; ++round) {
+    x1 = idea_mul(x1, ks[k + 0]);
+    x2 = static_cast<std::uint16_t>(x2 + ks[k + 1]);
+    x3 = static_cast<std::uint16_t>(x3 + ks[k + 2]);
+    x4 = idea_mul(x4, ks[k + 3]);
+    const std::uint16_t t0 = idea_mul(static_cast<std::uint16_t>(x1 ^ x3),
+                                      ks[k + 4]);
+    const std::uint16_t t1 = idea_mul(
+        static_cast<std::uint16_t>(static_cast<std::uint16_t>(x2 ^ x4) + t0),
+        ks[k + 5]);
+    const std::uint16_t t2 = static_cast<std::uint16_t>(t0 + t1);
+    const std::uint16_t nx1 = static_cast<std::uint16_t>(x1 ^ t1);
+    const std::uint16_t nx4 = static_cast<std::uint16_t>(x4 ^ t2);
+    const std::uint16_t nx2 = static_cast<std::uint16_t>(x3 ^ t1);
+    const std::uint16_t nx3 = static_cast<std::uint16_t>(x2 ^ t2);
+    x1 = nx1;
+    x2 = nx2;
+    x3 = nx3;
+    x4 = nx4;
+    k += 6;
+  }
+  // Output transform undoes the last round's middle swap.
+  return IdeaBlock{idea_mul(x1, ks[k + 0]),
+                   static_cast<std::uint16_t>(x3 + ks[k + 1]),
+                   static_cast<std::uint16_t>(x2 + ks[k + 2]),
+                   idea_mul(x4, ks[k + 3])};
+}
+
+Workload idea_workload(int blocks, const IdeaKey& key, std::uint64_t seed) {
+  const IdeaSubkeys ks = idea_expand_key(key);
+  lv::util::Xoshiro256 rng{seed};
+
+  std::vector<IdeaBlock> plaintext;
+  plaintext.reserve(static_cast<std::size_t>(blocks));
+  for (int i = 0; i < blocks; ++i)
+    plaintext.push_back(IdeaBlock{
+        static_cast<std::uint16_t>(rng.next_u32() & 0xffff),
+        static_cast<std::uint16_t>(rng.next_u32() & 0xffff),
+        static_cast<std::uint16_t>(rng.next_u32() & 0xffff),
+        static_cast<std::uint16_t>(rng.next_u32() & 0xffff)});
+
+  Workload w;
+  w.name = "idea";
+  w.result_label = "output";
+  for (const IdeaBlock& b : plaintext) {
+    const IdeaBlock c = idea_encrypt_block(b, ks);
+    w.expected.push_back((static_cast<std::uint32_t>(c[0]) << 16) | c[1]);
+    w.expected.push_back((static_cast<std::uint32_t>(c[2]) << 16) | c[3]);
+  }
+
+  std::ostringstream s;
+  s << "; IDEA encryption of " << blocks << " blocks (LVR32)\n";
+  s << "; registers: r1 blocks left, r2 in ptr, r3 out ptr, r4 key ptr\n";
+  s << ";            r5-r8 = x1..x4, r16 = 0xffff, r17 = 65537\n";
+  s << "start:\n";
+  s << "  li   r16, 0xffff\n";
+  s << "  li   r17, 0x10001\n";
+  s << "  addi r1, r0, " << blocks << "\n";
+  s << "  li   r2, input\n";
+  s << "  li   r3, output\n";
+  s << "block_loop:\n";
+  s << "  lw   r14, 0(r2)\n";
+  s << "  srli r5, r14, 16\n";
+  s << "  and  r6, r14, r16\n";
+  s << "  lw   r14, 4(r2)\n";
+  s << "  srli r7, r14, 16\n";
+  s << "  and  r8, r14, r16\n";
+  s << "  li   r4, keys\n";
+  s << "  addi r9, r0, 8\n";
+  s << "round_loop:\n";
+  // x1 = mul(x1, K0)
+  s << "  lw   r11, 0(r4)\n  move r10, r5\n  jal  ra, mulsub\n  move r5, r10\n";
+  // x2 += K1 ; x3 += K2
+  s << "  lw   r11, 4(r4)\n  add  r6, r6, r11\n  and  r6, r6, r16\n";
+  s << "  lw   r11, 8(r4)\n  add  r7, r7, r11\n  and  r7, r7, r16\n";
+  // x4 = mul(x4, K3)
+  s << "  lw   r11, 12(r4)\n  move r10, r8\n  jal  ra, mulsub\n  move r8, r10\n";
+  // t0 = mul(x1 ^ x3, K4)
+  s << "  xor  r10, r5, r7\n  lw   r11, 16(r4)\n  jal  ra, mulsub\n"
+       "  move r20, r10\n";
+  // t1 = mul((x2 ^ x4) + t0, K5)
+  s << "  xor  r10, r6, r8\n  add  r10, r10, r20\n  and  r10, r10, r16\n"
+       "  lw   r11, 20(r4)\n  jal  ra, mulsub\n  move r21, r10\n";
+  // t2 = t0 + t1
+  s << "  add  r22, r20, r21\n  and  r22, r22, r16\n";
+  // swap/mix
+  s << "  xor  r5, r5, r21\n";
+  s << "  xor  r8, r8, r22\n";
+  s << "  xor  r13, r7, r21\n";  // new x2 = x3 ^ t1
+  s << "  xor  r7, r6, r22\n";   // new x3 = x2 ^ t2
+  s << "  move r6, r13\n";
+  s << "  addi r4, r4, 24\n";
+  s << "  addi r9, r9, -1\n";
+  s << "  bne  r9, r0, round_loop\n";
+  // Output transform: y1 = mul(x1,K48); y2 = x3+K49; y3 = x2+K50;
+  // y4 = mul(x4,K51).
+  // Both multiplications first: mulsub clobbers r12/r13, which hold the
+  // additive halves afterwards.
+  s << "  lw   r11, 0(r4)\n  move r10, r5\n  jal  ra, mulsub\n  move r5, r10\n";
+  s << "  lw   r11, 12(r4)\n  move r10, r8\n  jal  ra, mulsub\n  move r8, r10\n";
+  s << "  lw   r11, 4(r4)\n  add  r12, r7, r11\n  and  r12, r12, r16\n";
+  s << "  lw   r11, 8(r4)\n  add  r13, r6, r11\n  and  r13, r13, r16\n";
+  // Pack and store.
+  s << "  slli r14, r5, 16\n  or   r14, r14, r12\n  sw   r14, 0(r3)\n";
+  s << "  slli r14, r13, 16\n  or   r14, r14, r8\n  sw   r14, 4(r3)\n";
+  s << "  addi r2, r2, 8\n  addi r3, r3, 8\n  addi r1, r1, -1\n";
+  s << "  bne  r1, r0, block_loop\n";
+  s << "  halt\n";
+  // mul mod 65537 subroutine: a=r10, b=r11 -> r10; clobbers r12, r13.
+  s << "mulsub:\n";
+  s << "  bne  r10, r0, ms_a_nz\n";
+  s << "  sub  r10, r17, r11\n";  // a == 0: (65537 - b)
+  s << "  j    ms_mask\n";
+  s << "ms_a_nz:\n";
+  s << "  bne  r11, r0, ms_both\n";
+  s << "  sub  r10, r17, r10\n";  // b == 0: (65537 - a)
+  s << "  j    ms_mask\n";
+  s << "ms_both:\n";
+  s << "  mul  r12, r10, r11\n";
+  s << "  srli r13, r12, 16\n";
+  s << "  and  r12, r12, r16\n";
+  s << "  sub  r10, r12, r13\n";
+  s << "  bgeu r12, r13, ms_mask\n";
+  s << "  add  r10, r10, r17\n";
+  s << "ms_mask:\n";
+  s << "  and  r10, r10, r16\n";
+  s << "  jalr r0, ra, 0\n";
+  // Data sections.
+  s << "keys:\n";
+  for (const std::uint16_t k : ks) s << "  .word " << k << "\n";
+  s << "input:\n";
+  for (const IdeaBlock& b : plaintext) {
+    s << "  .word " << ((static_cast<std::uint32_t>(b[0]) << 16) | b[1])
+      << "\n";
+    s << "  .word " << ((static_cast<std::uint32_t>(b[2]) << 16) | b[3])
+      << "\n";
+  }
+  s << "output:\n  .space " << 2 * blocks << "\n";
+  w.source = s.str();
+  return w;
+}
+
+}  // namespace lv::workloads

@@ -1,0 +1,43 @@
+// IDEA block cipher (Lai-Massey, 1991) — the "data encryption standard
+// (IDEA)" workload of the paper's Table 3. The cipher's inner loop is
+// dominated by 16-bit modular multiplications (mod 2^16 + 1), which is why
+// its multiplier fga is far higher than the SPEC-style integer kernels'.
+//
+// Two implementations:
+//  * a C++ reference (key expansion + block encryption), used to generate
+//    subkeys for the assembly image and to verify the Machine's output;
+//  * idea_workload(): an LVR32 assembly program that encrypts a buffer of
+//    blocks, suitable for profiling with ActivityProfiler.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "workloads/workload.hpp"
+
+namespace lv::workloads {
+
+using IdeaKey = std::array<std::uint16_t, 8>;      // 128-bit key
+using IdeaSubkeys = std::array<std::uint16_t, 52>;  // expanded schedule
+using IdeaBlock = std::array<std::uint16_t, 4>;     // 64-bit block
+
+// Multiplication modulo 2^16 + 1 with the IDEA zero convention
+// (0 represents 2^16).
+std::uint16_t idea_mul(std::uint16_t a, std::uint16_t b);
+
+// Standard schedule: 8 key words, then repeated 25-bit left rotation of
+// the 128-bit key.
+IdeaSubkeys idea_expand_key(const IdeaKey& key);
+
+IdeaBlock idea_encrypt_block(const IdeaBlock& block,
+                             const IdeaSubkeys& subkeys);
+
+// Builds the assembly workload: `blocks` 64-bit blocks of deterministic
+// pseudo-random plaintext (seeded) encrypted under `key`; expected output
+// computed with the C++ reference.
+Workload idea_workload(int blocks = 32,
+                       const IdeaKey& key = {0x0001, 0x0002, 0x0003, 0x0004,
+                                             0x0005, 0x0006, 0x0007, 0x0008},
+                       std::uint64_t seed = 0x1dea);
+
+}  // namespace lv::workloads

@@ -1,0 +1,379 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "util/random.hpp"
+
+namespace lv::workloads {
+
+namespace {
+
+std::vector<std::uint32_t> random_words(int count, std::uint64_t seed) {
+  lv::util::Xoshiro256 rng{seed};
+  std::vector<std::uint32_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(rng.next_u32());
+  return out;
+}
+
+void emit_words(std::ostringstream& s, const std::vector<std::uint32_t>& ws) {
+  for (const auto w : ws) s << "  .word " << w << "\n";
+}
+
+}  // namespace
+
+Workload espresso_workload(int words, std::uint64_t seed) {
+  const auto a = random_words(words, seed);
+  const auto b = random_words(words, seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // C++ reference. The quadratic cost term mirrors espresso's occasional
+  // cover-cost multiplies (one per cube) so the multiplier row of Table 1
+  // is small but nonzero, as in the paper.
+  std::uint32_t popcount_total = 0;
+  std::uint32_t contained = 0;
+  std::uint32_t cost = 0;
+  for (int i = 0; i < words; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const auto pc =
+        static_cast<std::uint32_t>(std::popcount(a[ii] & b[ii]));
+    popcount_total += pc;
+    cost += pc * pc;
+    if ((a[ii] & ~b[ii]) == 0) ++contained;
+  }
+
+  Workload w;
+  w.name = "espresso";
+  w.result_label = "result";
+  w.expected = {popcount_total, contained, cost};
+
+  std::ostringstream s;
+  s << "; espresso-like cube operations over " << words << " words\n";
+  s << "start:\n";
+  s << "  li   r16, cube_a\n  li   r17, cube_b\n";
+  s << "  addi r1, r0, " << words << "\n";
+  s << "  move r20, r0\n  move r21, r0\n  move r24, r0\n";  // pc / contained / cost
+  s << "  li   r22, 0xffffffff\n";
+  s << "loop:\n";
+  s << "  lw   r2, 0(r16)\n  lw   r3, 0(r17)\n";
+  s << "  and  r4, r2, r3\n";  // intersection cube
+  s << "  move r5, r0\n  addi r6, r0, 32\n";
+  s << "pc_loop:\n";
+  s << "  andi r7, r4, 1\n  add  r5, r5, r7\n  srli r4, r4, 1\n";
+  s << "  addi r6, r6, -1\n  bne  r6, r0, pc_loop\n";
+  s << "  add  r20, r20, r5\n";
+  s << "  mul  r8, r5, r5\n  add  r24, r24, r8\n";  // quadratic cover cost
+  s << "  xor  r7, r3, r22\n  and  r7, r2, r7\n";  // a & ~b
+  s << "  bne  r7, r0, not_contained\n";
+  s << "  addi r21, r21, 1\n";
+  s << "not_contained:\n";
+  s << "  addi r16, r16, 4\n  addi r17, r17, 4\n  addi r1, r1, -1\n";
+  s << "  bne  r1, r0, loop\n";
+  s << "  li   r9, result\n  sw   r20, 0(r9)\n  sw   r21, 4(r9)\n"
+       "  sw   r24, 8(r9)\n  halt\n";
+  s << "cube_a:\n";
+  emit_words(s, a);
+  s << "cube_b:\n";
+  emit_words(s, b);
+  s << "result:\n  .space 3\n";
+  w.source = s.str();
+  return w;
+}
+
+Workload li_workload(int cells, std::uint64_t seed) {
+  // Cell values come from an assembled data table (list workloads are
+  // load/store/branch bound — SPEC li's signature is almost no multiplies
+  // and few shifts, so the kernel must not synthesize values with an LCG).
+  constexpr std::int32_t kThreshold = 128;
+  lv::util::Xoshiro256 rng{seed};
+  std::vector<std::uint32_t> values;
+  values.reserve(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) values.push_back(rng.next_u32() & 255u);
+
+  // Reference traversal.
+  std::uint32_t sum = 0;
+  std::uint32_t count = 0;
+  for (const std::uint32_t car : values) {
+    if (static_cast<std::int32_t>(car) >= kThreshold) {
+      sum += car;
+      ++count;
+    }
+  }
+
+  Workload w;
+  w.name = "li";
+  w.result_label = "result";
+  w.expected = {sum, count};
+
+  std::ostringstream s;
+  s << "; li-like cons-cell build + traversal, " << cells << " cells\n";
+  s << "start:\n";
+  s << "  li   r2, heap\n  move r7, r2\n";  // r7 = list head
+  s << "  li   r8, values\n";
+  s << "  addi r1, r0, " << cells << "\n";
+  s << "build_loop:\n";
+  s << "  lw   r3, 0(r8)\n  addi r8, r8, 4\n";
+  s << "  sw   r3, 0(r2)\n";       // car
+  s << "  addi r4, r2, 8\n";       // next cell address
+  s << "  addi r1, r1, -1\n";
+  s << "  beq  r1, r0, last_cell\n";
+  s << "  sw   r4, 4(r2)\n  move r2, r4\n  j    build_loop\n";
+  s << "last_cell:\n  sw   r0, 4(r2)\n";
+  // Traversal.
+  s << "  move r2, r7\n  move r5, r0\n  move r6, r0\n";
+  s << "walk:\n";
+  s << "  beq  r2, r0, done\n";
+  s << "  lw   r3, 0(r2)\n  lw   r2, 4(r2)\n";
+  s << "  slti r4, r3, " << kThreshold << "\n";
+  s << "  bne  r4, r0, walk\n";
+  s << "  add  r5, r5, r3\n  addi r6, r6, 1\n  j    walk\n";
+  s << "done:\n  li   r9, result\n  sw   r5, 0(r9)\n  sw   r6, 4(r9)\n"
+       "  halt\n";
+  s << "result:\n  .space 2\n";
+  s << "values:\n";
+  emit_words(s, values);
+  s << "heap:\n  .space " << 2 * cells << "\n";
+  w.source = s.str();
+  return w;
+}
+
+Workload fir_workload(int samples, std::uint64_t seed) {
+  constexpr int kTaps = 16;
+  lv::util::Xoshiro256 rng{seed};
+  std::vector<std::uint32_t> x;
+  std::vector<std::uint32_t> h;
+  for (int i = 0; i < samples + kTaps; ++i)
+    x.push_back(rng.next_u32() & 0x3ff);
+  for (int i = 0; i < kTaps; ++i) h.push_back(rng.next_u32() & 0xff);
+
+  Workload w;
+  w.name = "fir";
+  w.result_label = "output";
+  for (int n = 0; n < samples; ++n) {
+    std::uint32_t acc = 0;
+    for (int k = 0; k < kTaps; ++k)
+      acc += x[static_cast<std::size_t>(n + k)] *
+             h[static_cast<std::size_t>(k)];
+    w.expected.push_back(acc);
+  }
+
+  std::ostringstream s;
+  s << "; 16-tap FIR over " << samples << " samples\n";
+  s << "start:\n";
+  s << "  li   r2, x_data\n  li   r3, output\n";
+  s << "  addi r1, r0, " << samples << "\n";
+  s << "outer:\n";
+  s << "  move r5, r0\n";          // acc
+  s << "  move r6, r2\n";          // xp
+  s << "  li   r7, h_data\n";
+  s << "  addi r8, r0, " << kTaps << "\n";
+  s << "inner:\n";
+  s << "  lw   r9, 0(r6)\n  lw   r10, 0(r7)\n";
+  s << "  mul  r11, r9, r10\n  add  r5, r5, r11\n";
+  s << "  addi r6, r6, 4\n  addi r7, r7, 4\n  addi r8, r8, -1\n";
+  s << "  bne  r8, r0, inner\n";
+  s << "  sw   r5, 0(r3)\n";
+  s << "  addi r2, r2, 4\n  addi r3, r3, 4\n  addi r1, r1, -1\n";
+  s << "  bne  r1, r0, outer\n  halt\n";
+  s << "x_data:\n";
+  emit_words(s, x);
+  s << "h_data:\n";
+  emit_words(s, h);
+  s << "output:\n  .space " << samples << "\n";
+  w.source = s.str();
+  return w;
+}
+
+Workload crc32_workload(int words, std::uint64_t seed) {
+  constexpr std::uint32_t kPoly = 0xEDB88320u;
+  const auto data = random_words(words, seed);
+
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint32_t word : data) {
+    std::uint32_t x = word;
+    for (int bit = 0; bit < 32; ++bit) {
+      const bool lsb = ((crc ^ x) & 1u) != 0;
+      crc >>= 1;
+      if (lsb) crc ^= kPoly;
+      x >>= 1;
+    }
+  }
+
+  Workload w;
+  w.name = "crc32";
+  w.result_label = "result";
+  w.expected = {crc};
+
+  std::ostringstream s;
+  s << "; bitwise CRC-32 over " << words << " words\n";
+  s << "start:\n";
+  s << "  li   r2, data\n  addi r1, r0, " << words << "\n";
+  s << "  li   r5, 0xffffffff\n";  // crc
+  s << "  li   r6, " << kPoly << "\n";
+  s << "word_loop:\n";
+  s << "  lw   r3, 0(r2)\n  addi r4, r0, 32\n";
+  s << "bit_loop:\n";
+  s << "  xor  r7, r5, r3\n  andi r7, r7, 1\n";
+  s << "  srli r5, r5, 1\n";
+  s << "  beq  r7, r0, no_poly\n";
+  s << "  xor  r5, r5, r6\n";
+  s << "no_poly:\n";
+  s << "  srli r3, r3, 1\n  addi r4, r4, -1\n  bne  r4, r0, bit_loop\n";
+  s << "  addi r2, r2, 4\n  addi r1, r1, -1\n  bne  r1, r0, word_loop\n";
+  s << "  li   r9, result\n  sw   r5, 0(r9)\n  halt\n";
+  s << "data:\n";
+  emit_words(s, data);
+  s << "result:\n  .space 1\n";
+  w.source = s.str();
+  return w;
+}
+
+Workload sort_workload(int values, std::uint64_t seed) {
+  auto data = random_words(values, seed);
+  for (auto& d : data) d &= 0xffff;
+
+  Workload w;
+  w.name = "sort";
+  w.result_label = "data";
+  w.expected = data;
+  std::sort(w.expected.begin(), w.expected.end());
+
+  std::ostringstream s;
+  s << "; bubble sort of " << values << " words (in place)\n";
+  s << "start:\n";
+  s << "  addi r1, r0, " << values - 1 << "\n";  // outer passes left
+  s << "outer:\n";
+  s << "  li   r2, data\n";
+  s << "  move r3, r1\n";  // comparisons this pass
+  s << "inner:\n";
+  s << "  lw   r4, 0(r2)\n  lw   r5, 4(r2)\n";
+  s << "  bgeu r5, r4, no_swap\n";
+  s << "  sw   r5, 0(r2)\n  sw   r4, 4(r2)\n";
+  s << "no_swap:\n";
+  s << "  addi r2, r2, 4\n  addi r3, r3, -1\n  bne  r3, r0, inner\n";
+  s << "  addi r1, r1, -1\n  bne  r1, r0, outer\n  halt\n";
+  s << "data:\n";
+  emit_words(s, data);
+  w.source = s.str();
+  return w;
+}
+
+Workload matmul_workload(int n, std::uint64_t seed) {
+  lv::util::Xoshiro256 rng{seed};
+  const auto count = static_cast<std::size_t>(n * n);
+  std::vector<std::uint32_t> a;
+  std::vector<std::uint32_t> b;
+  for (std::size_t i = 0; i < count; ++i) a.push_back(rng.next_u32() & 0xfff);
+  for (std::size_t i = 0; i < count; ++i) b.push_back(rng.next_u32() & 0xfff);
+
+  Workload w;
+  w.name = "matmul";
+  w.result_label = "mat_c";
+  w.expected.assign(count, 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      std::uint32_t acc = 0;
+      for (int k = 0; k < n; ++k)
+        acc += a[static_cast<std::size_t>(i * n + k)] *
+               b[static_cast<std::size_t>(k * n + j)];
+      w.expected[static_cast<std::size_t>(i * n + j)] = acc;
+    }
+
+  const int row_bytes = 4 * n;
+  std::ostringstream s;
+  s << "; " << n << "x" << n << " matrix multiply\n";
+  s << "start:\n";
+  s << "  li   r2, mat_a\n  li   r4, mat_c\n";
+  s << "  addi r1, r0, " << n << "\n";  // rows left
+  s << "row_loop:\n";
+  s << "  li   r3, mat_b\n";            // column base resets per row
+  s << "  addi r5, r0, " << n << "\n";  // cols left
+  s << "col_loop:\n";
+  s << "  move r6, r2\n";               // a-row cursor
+  s << "  move r7, r3\n";               // b-col cursor
+  s << "  move r8, r0\n";               // acc
+  s << "  addi r9, r0, " << n << "\n";  // k
+  s << "k_loop:\n";
+  s << "  lw   r10, 0(r6)\n  lw   r11, 0(r7)\n";
+  s << "  mul  r12, r10, r11\n  add  r8, r8, r12\n";
+  s << "  addi r6, r6, 4\n  addi r7, r7, " << row_bytes << "\n";
+  s << "  addi r9, r9, -1\n  bne  r9, r0, k_loop\n";
+  s << "  sw   r8, 0(r4)\n  addi r4, r4, 4\n";
+  s << "  addi r3, r3, 4\n";            // next b column
+  s << "  addi r5, r5, -1\n  bne  r5, r0, col_loop\n";
+  s << "  addi r2, r2, " << row_bytes << "\n";  // next a row
+  s << "  addi r1, r1, -1\n  bne  r1, r0, row_loop\n";
+  s << "  halt\n";
+  s << "mat_a:\n";
+  emit_words(s, a);
+  s << "mat_b:\n";
+  emit_words(s, b);
+  s << "mat_c:\n  .space " << count << "\n";
+  w.source = s.str();
+  return w;
+}
+
+Workload strsearch_workload(int haystack, int needle, std::uint64_t seed) {
+  lv::util::Xoshiro256 rng{seed};
+  std::vector<std::uint32_t> hay;
+  hay.reserve(static_cast<std::size_t>(haystack));
+  // Small alphabet so matches and near-misses actually occur.
+  for (int i = 0; i < haystack; ++i)
+    hay.push_back(rng.next_u32() % 4);
+  std::vector<std::uint32_t> pat;
+  for (int i = 0; i < needle; ++i) pat.push_back(rng.next_u32() % 4);
+
+  std::uint32_t matches = 0;
+  std::uint32_t first = 0xffffffffu;
+  for (int i = 0; i + needle <= haystack; ++i) {
+    bool ok = true;
+    for (int j = 0; j < needle && ok; ++j)
+      ok = hay[static_cast<std::size_t>(i + j)] ==
+           pat[static_cast<std::size_t>(j)];
+    if (ok) {
+      ++matches;
+      if (first == 0xffffffffu) first = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  Workload w;
+  w.name = "strsearch";
+  w.result_label = "result";
+  w.expected = {matches, first};
+
+  std::ostringstream s;
+  s << "; naive substring search, haystack " << haystack << ", needle "
+    << needle << "\n";
+  s << "start:\n";
+  s << "  li   r2, hay\n";
+  s << "  addi r1, r0, " << (haystack - needle + 1) << "\n";  // positions
+  s << "  move r20, r0\n";                 // match count
+  s << "  li   r21, 0xffffffff\n";         // first match
+  s << "  move r22, r0\n";                 // current position index
+  s << "pos_loop:\n";
+  s << "  move r5, r2\n  li   r6, pat\n";
+  s << "  addi r7, r0, " << needle << "\n";
+  s << "cmp_loop:\n";
+  s << "  lw   r8, 0(r5)\n  lw   r9, 0(r6)\n";
+  s << "  bne  r8, r9, no_match\n";
+  s << "  addi r5, r5, 4\n  addi r6, r6, 4\n";
+  s << "  addi r7, r7, -1\n  bne  r7, r0, cmp_loop\n";
+  s << "  addi r20, r20, 1\n";             // full match
+  s << "  li   r10, 0xffffffff\n";
+  s << "  bne  r21, r10, no_match\n";      // first already set
+  s << "  move r21, r22\n";
+  s << "no_match:\n";
+  s << "  addi r2, r2, 4\n  addi r22, r22, 1\n";
+  s << "  addi r1, r1, -1\n  bne  r1, r0, pos_loop\n";
+  s << "  li   r9, result\n  sw   r20, 0(r9)\n  sw   r21, 4(r9)\n  halt\n";
+  s << "result:\n  .space 2\n";
+  s << "hay:\n";
+  emit_words(s, hay);
+  s << "pat:\n";
+  emit_words(s, pat);
+  w.source = s.str();
+  return w;
+}
+
+}  // namespace lv::workloads

@@ -1,0 +1,45 @@
+// SPEC-character kernels for architectural profiling (paper Tables 1-2)
+// plus auxiliary DSP/integer workloads used by tests and examples.
+//
+// The paper profiles SPEC espresso (two-level logic minimization: bitwise
+// cube operations, shift/popcount heavy) and SPEC li (a Lisp interpreter:
+// pointer chasing, load/store/branch heavy, almost no multiplies). We
+// recode kernels with the same dynamic instruction-mix character for
+// LVR32; each returns a Workload whose expected output comes from a C++
+// reference of the identical algorithm.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace lv::workloads {
+
+// espresso-like: cube intersection popcounts and containment checks over
+// two bit-vector arrays. Output: [total popcount, contained count].
+Workload espresso_workload(int words = 96, std::uint64_t seed = 0xe59);
+
+// li-like: cons-cell list construction (LCG values) and traversal with a
+// conditional sum. Output: [sum of cars >= threshold, matching count].
+Workload li_workload(int cells = 128, std::uint64_t seed = 0x11);
+
+// 16-tap FIR filter over a sample buffer (multiply-accumulate loop).
+// Output: the filtered samples.
+Workload fir_workload(int samples = 64, std::uint64_t seed = 0xf1);
+
+// Bitwise CRC-32 (poly 0xEDB88320) over a word buffer. Output: [crc].
+Workload crc32_workload(int words = 48, std::uint64_t seed = 0xc3c);
+
+// Bubble sort of a word array (compare/branch/load/store bound).
+// Output: the sorted array.
+Workload sort_workload(int values = 24, std::uint64_t seed = 0x50);
+
+// Dense n x n matrix multiply (row-major, 32-bit wrap-around) — the
+// multiplier-saturating DSP-style workload. Output: the product matrix.
+Workload matmul_workload(int n = 8, std::uint64_t seed = 0x3a7);
+
+// Naive substring search of a pattern over a byte haystack packed one
+// byte per word — branch/load bound with frequent early exits. Output:
+// [match count, first match index (or 0xffffffff)].
+Workload strsearch_workload(int haystack = 256, int needle = 4,
+                            std::uint64_t seed = 0x5ea);
+
+}  // namespace lv::workloads

@@ -1,0 +1,27 @@
+#include "workloads/workload.hpp"
+
+#include "isa/assembler.hpp"
+
+namespace lv::workloads {
+
+RunResult run_workload(const Workload& workload,
+                       const std::vector<isa::ExecutionObserver*>& observers,
+                       std::uint64_t max_instructions) {
+  const isa::Program prog = isa::assemble(workload.source);
+  isa::Machine machine;
+  machine.load(prog.words);
+  for (isa::ExecutionObserver* obs : observers) machine.add_observer(obs);
+
+  RunResult result;
+  result.instructions = machine.run(max_instructions);
+
+  const std::uint32_t base = prog.label(workload.result_label);
+  result.actual.reserve(workload.expected.size());
+  for (std::size_t i = 0; i < workload.expected.size(); ++i)
+    result.actual.push_back(
+        machine.load_word(base + static_cast<std::uint32_t>(i) * 4));
+  result.verified = result.actual == workload.expected;
+  return result;
+}
+
+}  // namespace lv::workloads

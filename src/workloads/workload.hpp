@@ -1,0 +1,38 @@
+// Workload bundle: an LVR32 assembly program plus the reference-computed
+// memory image it must produce, so every workload is functionally
+// verifiable on the Machine before being profiled. These programs are the
+// substitutes for the paper's SPEC espresso / SPEC li / IDEA binaries
+// (Tables 1-3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/machine.hpp"
+
+namespace lv::workloads {
+
+struct Workload {
+  std::string name;
+  std::string source;  // LVR32 assembly text
+
+  // Verification: after a run to completion, the `result_words` words at
+  // label `result_label` must equal `expected`.
+  std::string result_label;
+  std::vector<std::uint32_t> expected;
+};
+
+struct RunResult {
+  std::uint64_t instructions = 0;
+  bool verified = false;
+  std::vector<std::uint32_t> actual;
+};
+
+// Assembles, loads, runs to halt (with the given observers attached), and
+// checks the result region. Throws on assembly/machine errors.
+RunResult run_workload(const Workload& workload,
+                       const std::vector<isa::ExecutionObserver*>& observers,
+                       std::uint64_t max_instructions = 200'000'000);
+
+}  // namespace lv::workloads

@@ -1,0 +1,112 @@
+// Property test: every combinational cell's 3-valued evaluation agrees
+// with an independent boolean reference on all known-input combinations,
+// and is *monotone in information* on X inputs (replacing an X input by a
+// constant can only keep or sharpen the output, never flip a known value).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "circuit/cells.hpp"
+
+namespace c = lv::circuit;
+using c::Logic;
+
+namespace {
+
+// Independent boolean references (two-valued).
+bool ref_eval(c::CellKind kind, const std::vector<bool>& in) {
+  switch (kind) {
+    case c::CellKind::inv: return !in[0];
+    case c::CellKind::buf: return in[0];
+    case c::CellKind::nand2: return !(in[0] && in[1]);
+    case c::CellKind::nand3: return !(in[0] && in[1] && in[2]);
+    case c::CellKind::nand4: return !(in[0] && in[1] && in[2] && in[3]);
+    case c::CellKind::nor2: return !(in[0] || in[1]);
+    case c::CellKind::nor3: return !(in[0] || in[1] || in[2]);
+    case c::CellKind::nor4: return !(in[0] || in[1] || in[2] || in[3]);
+    case c::CellKind::and2: return in[0] && in[1];
+    case c::CellKind::or2: return in[0] || in[1];
+    case c::CellKind::xor2: return in[0] != in[1];
+    case c::CellKind::xnor2: return in[0] == in[1];
+    case c::CellKind::aoi21: return !((in[0] && in[1]) || in[2]);
+    case c::CellKind::oai21: return !((in[0] || in[1]) && in[2]);
+    case c::CellKind::mux2: return in[2] ? in[1] : in[0];
+    case c::CellKind::tie0: return false;
+    case c::CellKind::tie1: return true;
+    default: ADD_FAILURE() << "unexpected kind"; return false;
+  }
+}
+
+std::vector<c::CellKind> combinational_kinds() {
+  std::vector<c::CellKind> kinds;
+  for (std::size_t k = 0;
+       k < static_cast<std::size_t>(c::CellKind::kind_count); ++k) {
+    const auto kind = static_cast<c::CellKind>(k);
+    if (!c::cell_info(kind).sequential) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+}  // namespace
+
+class CellTruth : public ::testing::TestWithParam<c::CellKind> {};
+
+TEST_P(CellTruth, MatchesBooleanReferenceExhaustively) {
+  const auto kind = GetParam();
+  const int arity = c::cell_info(kind).input_count;
+  for (unsigned pattern = 0; pattern < (1u << arity); ++pattern) {
+    std::vector<Logic> in3;
+    std::vector<bool> in2;
+    for (int bit = 0; bit < arity; ++bit) {
+      const bool v = (pattern >> bit) & 1;
+      in2.push_back(v);
+      in3.push_back(c::from_bool(v));
+    }
+    const Logic out = c::evaluate_cell(kind, in3);
+    ASSERT_TRUE(c::is_known(out)) << "X from known inputs";
+    EXPECT_EQ(out == Logic::one, ref_eval(kind, in2))
+        << c::cell_info(kind).name << " pattern " << pattern;
+  }
+}
+
+TEST_P(CellTruth, XRefinementIsMonotone) {
+  const auto kind = GetParam();
+  const int arity = c::cell_info(kind).input_count;
+  if (arity == 0) return;
+  // Enumerate all 3^arity input vectors (arity <= 4 -> at most 81).
+  std::vector<Logic> in(static_cast<std::size_t>(arity), Logic::zero);
+  const Logic values[] = {Logic::zero, Logic::one, Logic::x};
+  int total = 1;
+  for (int i = 0; i < arity; ++i) total *= 3;
+  for (int code = 0; code < total; ++code) {
+    int rest = code;
+    for (int i = 0; i < arity; ++i) {
+      in[static_cast<std::size_t>(i)] = values[rest % 3];
+      rest /= 3;
+    }
+    const Logic coarse = c::evaluate_cell(kind, in);
+    if (!c::is_known(coarse)) continue;
+    // Replace each X by both constants: the output must stay the same.
+    std::function<void(std::size_t)> refine = [&](std::size_t idx) {
+      if (idx == in.size()) {
+        EXPECT_EQ(c::evaluate_cell(kind, in), coarse)
+            << c::cell_info(kind).name;
+        return;
+      }
+      if (in[idx] == Logic::x) {
+        for (const Logic v : {Logic::zero, Logic::one}) {
+          in[idx] = v;
+          refine(idx + 1);
+        }
+        in[idx] = Logic::x;
+      } else {
+        refine(idx + 1);
+      }
+    };
+    refine(0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, CellTruth,
+                         ::testing::ValuesIn(combinational_kinds()));

@@ -1,0 +1,212 @@
+// Tests for the extended generator set: Kogge-Stone adder, Gray counter,
+// LFSR, and the precomputation-gated comparator (paper reference [2]).
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "power/estimator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "timing/sta.hpp"
+
+namespace c = lv::circuit;
+namespace s = lv::sim;
+
+TEST(KoggeStone, ExhaustiveAt4Bits) {
+  c::Netlist nl;
+  const auto ports = c::build_kogge_stone_adder(nl, 4);
+  s::Simulator sim{nl};
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      sim.set_bus(ports.a, a);
+      sim.set_bus(ports.b, b);
+      sim.settle();
+      std::uint64_t sum = 0;
+      ASSERT_TRUE(sim.read_bus(ports.sum, sum));
+      ASSERT_EQ(sum, (a + b) & 0xf) << a << "+" << b;
+      ASSERT_EQ(sim.value(ports.cout) == c::Logic::one, (a + b) > 15);
+    }
+  }
+}
+
+TEST(KoggeStone, RandomAt16BitsAndNonPowerOfTwo) {
+  for (const int width : {11, 16, 24}) {
+    c::Netlist nl;
+    const auto ports = c::build_kogge_stone_adder(nl, width);
+    s::Simulator sim{nl};
+    const std::uint64_t mask = (1ull << width) - 1;
+    const auto a = s::random_vectors(200, width, 5);
+    const auto b = s::random_vectors(200, width, 6);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sim.set_bus(ports.a, a[i]);
+      sim.set_bus(ports.b, b[i]);
+      sim.settle();
+      std::uint64_t sum = 0;
+      ASSERT_TRUE(sim.read_bus(ports.sum, sum));
+      ASSERT_EQ(sum, (a[i] + b[i]) & mask) << "width " << width;
+    }
+  }
+}
+
+TEST(KoggeStone, FasterThanRippleAt32Bits) {
+  c::Netlist rc;
+  c::build_ripple_carry_adder(rc, 32);
+  c::Netlist ks;
+  c::build_kogge_stone_adder(ks, 32);
+  const auto tech = lv::tech::soi_low_vt();
+  const auto t_rc = lv::timing::Sta{rc, tech, 1.0}.run(1.0);
+  const auto t_ks = lv::timing::Sta{ks, tech, 1.0}.run(1.0);
+  EXPECT_LT(t_ks.critical_delay, 0.5 * t_rc.critical_delay);
+  // ...at a gate-count premium.
+  EXPECT_GT(ks.instance_count(), rc.instance_count());
+}
+
+TEST(GrayCounter, ExactlyOneBitTogglesPerCycle) {
+  c::Netlist nl;
+  const auto counter = c::build_gray_counter(nl, 4);
+  s::Simulator sim{nl};
+  sim.reset_flops(c::Logic::zero);
+  sim.settle();
+  std::uint64_t prev = 0;
+  ASSERT_TRUE(sim.read_bus(counter.gray, prev));
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    sim.clock_cycle();
+    std::uint64_t cur = 0;
+    ASSERT_TRUE(sim.read_bus(counter.gray, cur));
+    EXPECT_EQ(__builtin_popcountll(prev ^ cur), 1) << "cycle " << cycle;
+    prev = cur;
+  }
+}
+
+TEST(GrayCounter, BinaryStateCountsUp) {
+  c::Netlist nl;
+  const auto counter = c::build_gray_counter(nl, 5);
+  s::Simulator sim{nl};
+  sim.reset_flops(c::Logic::zero);
+  sim.settle();
+  for (std::uint64_t expect = 1; expect <= 40; ++expect) {
+    sim.clock_cycle();
+    std::uint64_t bin = 0;
+    ASSERT_TRUE(sim.read_bus(counter.binary, bin));
+    ASSERT_EQ(bin, expect & 0x1f);
+  }
+}
+
+TEST(Lfsr, MaximalLengthSequenceFor4Bits) {
+  // Taps {3, 2} give the maximal-length 15-state sequence for width 4.
+  c::Netlist nl;
+  const auto state = c::build_lfsr(nl, 4, {3, 2});
+  s::Simulator sim{nl};
+  sim.reset_flops(c::Logic::one);  // nonzero seed
+  sim.settle();
+  std::set<std::uint64_t> seen;
+  std::uint64_t v = 0;
+  ASSERT_TRUE(sim.read_bus(state, v));
+  seen.insert(v);
+  for (int i = 0; i < 14; ++i) {
+    sim.clock_cycle();
+    ASSERT_TRUE(sim.read_bus(state, v));
+    EXPECT_NE(v, 0u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 15u);  // all nonzero states visited
+  sim.clock_cycle();
+  ASSERT_TRUE(sim.read_bus(state, v));
+  EXPECT_EQ(seen.count(v), 1u);  // sequence repeats
+}
+
+TEST(Lfsr, RejectsBadTaps) {
+  c::Netlist nl;
+  EXPECT_THROW(c::build_lfsr(nl, 4, {7}), lv::util::Error);
+  c::Netlist nl2;
+  EXPECT_THROW(c::build_lfsr(nl2, 4, {}), lv::util::Error);
+}
+
+TEST(RippleComparator, ExhaustiveAt5Bits) {
+  c::Netlist nl;
+  const auto cmp = c::build_ripple_comparator(nl, 5);
+  s::Simulator sim{nl};
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    for (std::uint64_t b = 0; b < 32; ++b) {
+      sim.set_bus(cmp.a, a);
+      sim.set_bus(cmp.b, b);
+      sim.settle();
+      ASSERT_EQ(sim.value(cmp.gt) == c::Logic::one, a > b)
+          << a << " vs " << b;
+    }
+  }
+}
+
+namespace {
+
+// Drives the registered comparator pipeline for one operand pair: apply
+// inputs, let the precompute settle, gate the data registers according to
+// the enable (the Alidina control scheme), clock, and read the result.
+c::Logic pipelined_compare(s::Simulator& sim,
+                           const c::PrecomputedComparatorPorts& ports,
+                           std::uint64_t a, std::uint64_t b,
+                           bool apply_gating = true) {
+  sim.set_bus(ports.a, a);
+  sim.set_bus(ports.b, b);
+  sim.settle();
+  if (apply_gating) {
+    const bool low_bits_matter = sim.value(ports.enable) == c::Logic::one;
+    sim.set_module_clock_enable(ports.data_module, low_bits_matter);
+  }
+  sim.clock_cycle();
+  return sim.value(ports.gt);
+}
+
+}  // namespace
+
+TEST(PrecomputedComparator, MatchesTruthExhaustively) {
+  c::Netlist nl;
+  const auto pre = c::build_precomputed_comparator(nl, 5);
+  s::Simulator sim{nl};
+  sim.reset_flops(c::Logic::zero);
+  for (std::uint64_t a = 0; a < 32; ++a) {
+    for (std::uint64_t b = 0; b < 32; ++b) {
+      const auto gt = pipelined_compare(sim, pre, a, b);
+      ASSERT_EQ(gt == c::Logic::one, a > b) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(PrecomputedComparator, RegisteredBaselineAlsoCorrect) {
+  c::Netlist nl;
+  const auto base = c::build_registered_comparator(nl, 5);
+  s::Simulator sim{nl};
+  sim.reset_flops(c::Logic::zero);
+  for (std::uint64_t a = 0; a < 32; a += 3) {
+    for (std::uint64_t b = 0; b < 32; b += 5) {
+      const auto gt = pipelined_compare(sim, base, a, b,
+                                        /*apply_gating=*/false);
+      ASSERT_EQ(gt == c::Logic::one, a > b) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(PrecomputedComparator, GatingCutsSwitchedCapacitance) {
+  // Paper reference [2]: precomputation disables the low-order input
+  // registers whenever the MSBs decide (half of random inputs), so the
+  // wide low-order comparator stops switching.
+  const auto measure = [](bool gated) {
+    c::Netlist nl;
+    const auto ports = gated ? c::build_precomputed_comparator(nl, 8)
+                             : c::build_registered_comparator(nl, 8);
+    s::Simulator sim{nl};
+    sim.reset_flops(c::Logic::zero);
+    sim.set_bus(ports.a, 0);
+    sim.set_bus(ports.b, 0);
+    sim.settle();
+    sim.clear_stats();
+    const auto va = s::random_vectors(3000, 8, 0xca);
+    const auto vb = s::random_vectors(3000, 8, 0xcb);
+    for (std::size_t i = 0; i < va.size(); ++i)
+      pipelined_compare(sim, ports, va[i], vb[i], /*apply_gating=*/gated);
+    const lv::power::PowerEstimator est{nl, lv::tech::soi_low_vt(), {}};
+    return est.switched_cap_per_cycle(sim.stats());
+  };
+  const double baseline = measure(false);
+  const double gated = measure(true);
+  EXPECT_LT(gated, 0.9 * baseline);
+}

@@ -1,0 +1,149 @@
+// Tests for the Wallace-tree multiplier, carry-skip adder, and the
+// multiplier/adder architecture-comparison properties they enable.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "tech/process.hpp"
+#include "timing/sta.hpp"
+
+namespace c = lv::circuit;
+namespace s = lv::sim;
+
+TEST(Wallace, ExhaustiveAt4Bits) {
+  c::Netlist nl;
+  const auto mul = c::build_wallace_multiplier(nl, 4);
+  s::Simulator sim{nl};
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      sim.set_bus(mul.a, a);
+      sim.set_bus(mul.b, b);
+      sim.settle();
+      std::uint64_t p = 0;
+      ASSERT_TRUE(sim.read_bus(mul.product, p)) << a << "*" << b;
+      ASSERT_EQ(p, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(Wallace, RandomAt8Bits) {
+  c::Netlist nl;
+  const auto mul = c::build_wallace_multiplier(nl, 8);
+  s::Simulator sim{nl};
+  const auto va = s::random_vectors(300, 8, 0x3a);
+  const auto vb = s::random_vectors(300, 8, 0x3b);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    sim.set_bus(mul.a, va[i]);
+    sim.set_bus(mul.b, vb[i]);
+    sim.settle();
+    std::uint64_t p = 0;
+    ASSERT_TRUE(sim.read_bus(mul.product, p));
+    ASSERT_EQ(p, va[i] * vb[i]);
+  }
+}
+
+TEST(Wallace, FasterThanArrayAt8Bits) {
+  c::Netlist array;
+  c::build_array_multiplier(array, 8);
+  c::Netlist wallace;
+  c::build_wallace_multiplier(wallace, 8);
+  const auto tech = lv::tech::soi_low_vt();
+  const auto t_array = lv::timing::Sta{array, tech, 1.0}.run(1.0);
+  const auto t_wallace = lv::timing::Sta{wallace, tech, 1.0}.run(1.0);
+  // Logarithmic reduction + prefix CPA vs a chain of ripple rows.
+  EXPECT_LT(t_wallace.critical_delay, 0.7 * t_array.critical_delay);
+}
+
+TEST(CarrySkip, ExhaustiveAt4Bits) {
+  c::Netlist nl;
+  const auto add = c::build_carry_skip_adder(nl, 4, 2);
+  s::Simulator sim{nl};
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    for (std::uint64_t b = 0; b < 16; ++b) {
+      sim.set_bus(add.a, a);
+      sim.set_bus(add.b, b);
+      sim.settle();
+      std::uint64_t sum = 0;
+      ASSERT_TRUE(sim.read_bus(add.sum, sum));
+      ASSERT_EQ(sum, (a + b) & 0xf) << a << "+" << b;
+      ASSERT_EQ(sim.value(add.cout) == c::Logic::one, (a + b) > 15);
+    }
+  }
+}
+
+TEST(CarrySkip, RandomAt16Bits) {
+  c::Netlist nl;
+  const auto add = c::build_carry_skip_adder(nl, 16);
+  s::Simulator sim{nl};
+  const auto va = s::random_vectors(400, 16, 0x51);
+  const auto vb = s::random_vectors(400, 16, 0x52);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    sim.set_bus(add.a, va[i]);
+    sim.set_bus(add.b, vb[i]);
+    sim.settle();
+    std::uint64_t sum = 0;
+    ASSERT_TRUE(sim.read_bus(add.sum, sum));
+    ASSERT_EQ(sum, (va[i] + vb[i]) & 0xffff);
+  }
+}
+
+TEST(AdderFamily, DelayAndAreaOrderingAt32Bits) {
+  const auto tech = lv::tech::soi_low_vt();
+  auto timed = [&](auto&& build) {
+    c::Netlist nl;
+    build(nl);
+    return std::pair{lv::timing::Sta{nl, tech, 1.0}.run(1.0).critical_delay,
+                     nl.instance_count()};
+  };
+  const auto [t_rca, n_rca] =
+      timed([](c::Netlist& n) { c::build_ripple_carry_adder(n, 32); });
+  const auto [t_skip, n_skip] =
+      timed([](c::Netlist& n) { c::build_carry_skip_adder(n, 32); });
+  const auto [t_ks, n_ks] =
+      timed([](c::Netlist& n) { c::build_kogge_stone_adder(n, 32); });
+  // Kogge-Stone is structurally fastest and largest.
+  EXPECT_LT(t_ks, t_rca);
+  EXPECT_LT(t_ks, t_skip);
+  EXPECT_GT(n_ks, n_rca);
+  // Carry-skip's win is a *false-path* effect: its static worst path
+  // (ripple through every block plus the skip muxes) is logically
+  // impossible but our STA has no false-path analysis, so it must report
+  // skip >= ripple. Pin that down so a future false-path-aware STA shows
+  // up as an intentional behaviour change.
+  EXPECT_GE(t_skip, t_rca);
+  EXPECT_GT(n_skip, n_rca);
+}
+
+// Parameterized: both multiplier architectures agree with integer
+// multiplication across widths.
+class MultiplierAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierAgreement, WallaceMatchesArray) {
+  const int width = GetParam();
+  c::Netlist a_nl;
+  const auto array = c::build_array_multiplier(a_nl, width);
+  c::Netlist w_nl;
+  const auto wallace = c::build_wallace_multiplier(w_nl, width);
+  s::Simulator sim_a{a_nl};
+  s::Simulator sim_w{w_nl};
+  const auto va = s::random_vectors(120, width, 0x91);
+  const auto vb = s::random_vectors(120, width, 0x92);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    sim_a.set_bus(array.a, va[i]);
+    sim_a.set_bus(array.b, vb[i]);
+    sim_w.set_bus(wallace.a, va[i]);
+    sim_w.set_bus(wallace.b, vb[i]);
+    sim_a.settle();
+    sim_w.settle();
+    std::uint64_t pa = 0;
+    std::uint64_t pw = 0;
+    ASSERT_TRUE(sim_a.read_bus(array.product, pa));
+    ASSERT_TRUE(sim_w.read_bus(wallace.product, pw));
+    ASSERT_EQ(pa, pw);
+    ASSERT_EQ(pw, va[i] * vb[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierAgreement,
+                         ::testing::Values(2, 3, 5, 6, 8, 12));

@@ -1,0 +1,91 @@
+#include "circuit/netlist_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "util/error.hpp"
+
+namespace c = lv::circuit;
+namespace u = lv::util;
+
+TEST(NetlistIo, RoundTripPreservesStructure) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const std::string text = c::to_netlist_text(nl);
+  const c::Netlist back = c::parse_netlist_text(text);
+  EXPECT_EQ(back.net_count(), nl.net_count());
+  EXPECT_EQ(back.instance_count(), nl.instance_count());
+  EXPECT_EQ(back.primary_inputs().size(), nl.primary_inputs().size());
+  EXPECT_EQ(back.primary_outputs().size(), nl.primary_outputs().size());
+  EXPECT_EQ(back.kind_histogram(), nl.kind_histogram());
+}
+
+TEST(NetlistIo, RoundTripPreservesFunction) {
+  c::Netlist nl;
+  const auto fwd = c::build_ripple_carry_adder(nl, 6);
+  const c::Netlist back = c::parse_netlist_text(c::to_netlist_text(nl));
+
+  // Rebuild the port buses by name in the parsed netlist.
+  auto find_bus = [&](const std::string& prefix, int width) {
+    c::Bus bus;
+    for (int i = 0; i < width; ++i) {
+      const auto id = back.find_net(prefix + std::to_string(i));
+      EXPECT_NE(id, c::kInvalidNet);
+      bus.push_back(id);
+    }
+    return bus;
+  };
+  const auto a = find_bus("adder_a", 6);
+  const auto b = find_bus("adder_b", 6);
+  c::Bus sum;
+  for (const auto s : fwd.sum) sum.push_back(back.find_net(nl.net(s).name));
+
+  lv::sim::Simulator sim{back};
+  sim.set_bus(a, 23);
+  sim.set_bus(b, 31);
+  sim.settle();
+  std::uint64_t out = 0;
+  ASSERT_TRUE(sim.read_bus(sum, out));
+  EXPECT_EQ(out, (23u + 31u) & 0x3fu);
+}
+
+TEST(NetlistIo, RoundTripPreservesModulesAndClock) {
+  c::Netlist nl;
+  c::build_register_bank(nl, c::CellKind::dff_c2mos, 4, "regs");
+  const c::Netlist back = c::parse_netlist_text(c::to_netlist_text(nl));
+  EXPECT_NE(back.clock_net(), c::kInvalidNet);
+  const auto mods = back.modules();
+  EXPECT_NE(std::find(mods.begin(), mods.end(), "regs"), mods.end());
+}
+
+TEST(NetlistIo, MissingHeaderRejected) {
+  EXPECT_THROW(c::parse_netlist_text("input a\n"), u::Error);
+}
+
+TEST(NetlistIo, UnknownCellRejected) {
+  EXPECT_THROW(
+      c::parse_netlist_text("lvnet 1\ninput a\ngate g BOGUS w a\n"),
+      u::Error);
+}
+
+TEST(NetlistIo, UnknownInputNetRejected) {
+  EXPECT_THROW(
+      c::parse_netlist_text("lvnet 1\ngate g INV w missing\n"), u::Error);
+}
+
+TEST(NetlistIo, ErrorCarriesLineNumber) {
+  try {
+    c::parse_netlist_text("lvnet 1\ninput a\nbogus_statement x\n");
+    FAIL() << "expected throw";
+  } catch (const u::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(NetlistIo, CommentsIgnored) {
+  const auto nl = c::parse_netlist_text(
+      "# header comment\nlvnet 1\ninput a  # the input\ngate g INV w a\n");
+  EXPECT_EQ(nl.instance_count(), 1u);
+}

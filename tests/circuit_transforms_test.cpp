@@ -1,0 +1,161 @@
+#include "circuit/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "util/error.hpp"
+
+namespace c = lv::circuit;
+namespace s = lv::sim;
+
+namespace {
+
+// Functional equivalence on random vectors between two netlists exposing
+// the same primary input/output names.
+void expect_equivalent(const c::Netlist& a, const c::Netlist& b,
+                       std::size_t vectors = 300) {
+  ASSERT_EQ(a.primary_inputs().size(), b.primary_inputs().size());
+  ASSERT_EQ(a.primary_outputs().size(), b.primary_outputs().size());
+  s::Simulator sim_a{a};
+  s::Simulator sim_b{b};
+  const int bits = static_cast<int>(a.primary_inputs().size());
+  const auto vecs = s::random_vectors(vectors, bits, 0x7ea);
+  c::Bus in_a = a.primary_inputs();
+  c::Bus in_b;
+  for (const auto n : a.primary_inputs()) {
+    const auto id = b.find_net(a.net(n).name);
+    ASSERT_NE(id, c::kInvalidNet) << a.net(n).name;
+    in_b.push_back(id);
+  }
+  for (const auto v : vecs) {
+    sim_a.set_bus(in_a, v);
+    sim_b.set_bus(in_b, v);
+    sim_a.settle();
+    sim_b.settle();
+    for (const auto out_a : a.primary_outputs()) {
+      const auto out_b = b.find_net(a.net(out_a).name);
+      ASSERT_NE(out_b, c::kInvalidNet);
+      ASSERT_EQ(sim_a.value(out_a), sim_b.value(out_b))
+          << "output " << a.net(out_a).name << " input " << v;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(OptimizeNetlist, PreservesAdderFunction) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  c::TransformStats stats;
+  const auto opt = c::optimize_netlist(nl, &stats);
+  EXPECT_EQ(stats.gates_before, nl.instance_count());
+  expect_equivalent(nl, opt);
+}
+
+TEST(OptimizeNetlist, FoldsConstantCone) {
+  // AND with a tie-0 input is constant 0; the inverter after it becomes
+  // constant 1.
+  c::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto zero = nl.add_gate(c::CellKind::tie0, "z", {});
+  const auto w = nl.add_gate(c::CellKind::and2, "g", {a, zero});
+  const auto y = nl.add_gate(c::CellKind::inv, "n", {w});
+  nl.mark_output(y);
+  c::TransformStats stats;
+  const auto opt = c::optimize_netlist(nl, &stats);
+  EXPECT_GE(stats.constants_folded, 2u);
+  s::Simulator sim{opt};
+  sim.settle();
+  EXPECT_EQ(sim.value(opt.find_net("n_o")), c::Logic::one);
+}
+
+TEST(OptimizeNetlist, RemovesDeadLogic) {
+  c::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto live = nl.add_gate(c::CellKind::inv, "live", {a});
+  nl.mark_output(live);
+  // A whole dead cone.
+  const auto d1 = nl.add_gate(c::CellKind::inv, "dead1", {a});
+  nl.add_gate(c::CellKind::inv, "dead2", {d1});
+  c::TransformStats stats;
+  const auto opt = c::optimize_netlist(nl, &stats);
+  EXPECT_EQ(stats.dead_removed, 2u);
+  EXPECT_EQ(opt.instance_count(), 1u);
+}
+
+TEST(OptimizeNetlist, KeepsLiveFlopsDropsDeadOnes) {
+  c::Netlist nl;
+  const auto d = nl.add_input("d");
+  const auto clk = nl.add_clock("clk");
+  const auto q_live = nl.add_gate(c::CellKind::dff, "ff_live", {d, clk});
+  nl.mark_output(q_live);
+  nl.add_gate(c::CellKind::dff, "ff_dead", {d, clk});
+  c::TransformStats stats;
+  const auto opt = c::optimize_netlist(nl, &stats);
+  EXPECT_EQ(opt.sequential_instances().size(), 1u);
+  EXPECT_EQ(stats.dead_removed, 1u);
+}
+
+TEST(OptimizeNetlist, FlopFeedingLogicSurvives) {
+  // Combinational consumers of flop outputs exercise the pre-mapping of
+  // sequential output nets.
+  c::Netlist nl;
+  const auto d = nl.add_input("d");
+  const auto clk = nl.add_clock("clk");
+  const auto q = nl.add_gate(c::CellKind::dff, "ff", {d, clk});
+  const auto y = nl.add_gate(c::CellKind::inv, "n", {q});
+  nl.mark_output(y);
+  const auto opt = c::optimize_netlist(nl);
+  EXPECT_EQ(opt.instance_count(), 2u);
+  EXPECT_NO_THROW(opt.validate());
+}
+
+TEST(FanoutBuffers, CapsFanoutAndPreservesFunction) {
+  // One input fans out to 12 inverters.
+  c::Netlist nl;
+  const auto a = nl.add_input("a");
+  for (int i = 0; i < 12; ++i) {
+    const auto w =
+        nl.add_gate(c::CellKind::inv, "n" + std::to_string(i), {a});
+    nl.mark_output(w);
+  }
+  c::TransformStats stats;
+  const auto buffered = c::insert_fanout_buffers(nl, 4, &stats);
+  EXPECT_GT(stats.buffers_inserted, 0u);
+  for (c::NetId n = 0; n < buffered.net_count(); ++n)
+    EXPECT_LE(buffered.fanout_pins(n), 4u) << buffered.net(n).name;
+  expect_equivalent(nl, buffered);
+}
+
+TEST(FanoutBuffers, UntouchedWhenUnderLimit) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  c::TransformStats stats;
+  const auto out = c::insert_fanout_buffers(nl, 64, &stats);
+  EXPECT_EQ(stats.buffers_inserted, 0u);
+  EXPECT_EQ(out.instance_count(), nl.instance_count());
+}
+
+TEST(FanoutBuffers, ClockPinsExemptAndValid) {
+  c::Netlist nl;
+  c::build_register_bank(nl, c::CellKind::dff, 16, "regs");
+  const auto out = c::insert_fanout_buffers(nl, 2);
+  EXPECT_NO_THROW(out.validate());
+  EXPECT_EQ(out.sequential_instances().size(), 16u);
+}
+
+TEST(FanoutBuffers, RejectsSillyLimit) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 2);
+  EXPECT_THROW(c::insert_fanout_buffers(nl, 1), lv::util::Error);
+}
+
+TEST(Transforms, ComposeOnMultiplier) {
+  c::Netlist nl;
+  c::build_array_multiplier(nl, 4);
+  const auto opt = c::optimize_netlist(nl);
+  const auto buffered = c::insert_fanout_buffers(opt, 6);
+  expect_equivalent(nl, buffered, 256);
+}

@@ -1,0 +1,69 @@
+#include "core/bus_encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/stimulus.hpp"
+#include "util/error.hpp"
+
+namespace c = lv::core;
+
+TEST(BusEncoding, GrayWinsOnCountingStreams) {
+  // A counting bus toggles ~2 wires per word in binary (amortized) but
+  // exactly 1 in Gray — the paper's "signal statistics" lever.
+  const auto counting = lv::sim::counting_vectors(4096, 8, 0);
+  const auto binary = c::bus_activity(counting, 8, c::BusEncoding::binary);
+  const auto gray = c::bus_activity(counting, 8, c::BusEncoding::gray);
+  EXPECT_NEAR(gray.per_word, 1.0, 0.01);
+  EXPECT_GT(binary.per_word, 1.9);
+  EXPECT_LT(static_cast<double>(gray.transitions),
+            static_cast<double>(binary.transitions) / 1.5);
+}
+
+TEST(BusEncoding, BusInvertBoundsAndBeatsBinaryOnRandom) {
+  const auto random = lv::sim::random_vectors(8192, 16, 0xb1);
+  const auto binary = c::bus_activity(random, 16, c::BusEncoding::binary);
+  const auto invert =
+      c::bus_activity(random, 16, c::BusEncoding::bus_invert);
+  // Random data: binary toggles ~width/2 = 8 wires/word; bus-invert
+  // strictly fewer (plus its extra wire).
+  EXPECT_NEAR(binary.per_word, 8.0, 0.3);
+  EXPECT_LT(invert.per_word, binary.per_word);
+  EXPECT_EQ(invert.wires, 17);
+  // Hard worst-case bound: at most ceil((width+1)/2) toggles per word.
+  const std::vector<std::uint64_t> worst{0x0000, 0xffff, 0x0000, 0xffff};
+  const auto bounded =
+      c::bus_activity(worst, 16, c::BusEncoding::bus_invert);
+  EXPECT_LE(bounded.per_word, 8.5);
+  const auto unbounded = c::bus_activity(worst, 16, c::BusEncoding::binary);
+  EXPECT_NEAR(unbounded.per_word, 12.0, 0.01);  // 16,16,16 over 4 words
+}
+
+TEST(BusEncoding, GrayLosesNothingOnRandom) {
+  // Gray coding is a permutation, so random streams stay ~width/2.
+  const auto random = lv::sim::random_vectors(8192, 12, 0x9);
+  const auto binary = c::bus_activity(random, 12, c::BusEncoding::binary);
+  const auto gray = c::bus_activity(random, 12, c::BusEncoding::gray);
+  EXPECT_NEAR(gray.per_word, binary.per_word, 0.3);
+}
+
+TEST(BusEncoding, CompareReturnsAllThree) {
+  const auto walk = lv::sim::random_walk_vectors(2048, 10, 3, 0x77);
+  const auto results = c::compare_encodings(walk, 10);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) EXPECT_GT(r.transitions, 0u);
+  // Correlated walk: gray beats binary.
+  EXPECT_LT(results[1].per_word, results[0].per_word);
+}
+
+TEST(BusEncoding, ValidatesInputs) {
+  EXPECT_THROW(c::bus_activity({1}, 0, c::BusEncoding::binary),
+               lv::util::Error);
+  EXPECT_THROW(c::bus_activity({256}, 8, c::BusEncoding::binary),
+               lv::util::Error);
+}
+
+TEST(BusEncoding, EmptyStreamIsZero) {
+  const auto r = c::bus_activity({}, 8, c::BusEncoding::gray);
+  EXPECT_EQ(r.transitions, 0u);
+  EXPECT_DOUBLE_EQ(r.per_word, 0.0);
+}

@@ -1,0 +1,79 @@
+#include "core/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "util/error.hpp"
+
+namespace c = lv::core;
+
+namespace {
+
+lv::circuit::Netlist adder8() {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  return nl;
+}
+
+const lv::tech::Process& soi() {
+  static const auto tech = lv::tech::soi_low_vt();
+  return tech;
+}
+
+}  // namespace
+
+TEST(Dvfs, LightLoadRunsAtLowSupply) {
+  const auto nl = adder8();
+  // 1 ms interval, modest op count: far below the full-speed rate.
+  const std::vector<c::WorkInterval> intervals{{1e-3, 1e5}};
+  const auto r = c::plan_dvfs(nl, soi(), intervals, 0.4);
+  ASSERT_TRUE(r.all_feasible);
+  EXPECT_LT(r.plan[0].vdd, 0.5);
+  EXPECT_GE(r.plan[0].f_clk, 1e5 / 1e-3 * 0.999);
+}
+
+TEST(Dvfs, SavesOverRaceToIdle) {
+  const auto nl = adder8();
+  // Mixed load: mostly light intervals.
+  const std::vector<c::WorkInterval> intervals{
+      {1e-3, 2e5}, {1e-3, 1e5}, {1e-3, 5e4}, {1e-3, 4e5}};
+  const auto r = c::plan_dvfs(nl, soi(), intervals, 0.4);
+  ASSERT_TRUE(r.all_feasible);
+  EXPECT_GT(r.savings_fraction, 0.5);  // V^2 scaling is a big lever
+  EXPECT_LT(r.total_energy, r.race_to_idle_energy);
+}
+
+TEST(Dvfs, HeavierIntervalsGetHigherSupplies) {
+  const auto nl = adder8();
+  const std::vector<c::WorkInterval> intervals{
+      {1e-3, 5e4}, {1e-3, 5e5}, {1e-3, 2e6}};  // up to 2 Gops/s
+  const auto r = c::plan_dvfs(nl, soi(), intervals, 0.4);
+  ASSERT_TRUE(r.all_feasible);
+  EXPECT_LT(r.plan[0].vdd, r.plan[1].vdd + 1e-9);
+  EXPECT_LT(r.plan[1].vdd, r.plan[2].vdd + 1e-9);
+}
+
+TEST(Dvfs, IdleIntervalCostsOnlyLeakage) {
+  const auto nl = adder8();
+  const std::vector<c::WorkInterval> intervals{{1e-3, 0.0}};
+  const auto r = c::plan_dvfs(nl, soi(), intervals, 0.4);
+  ASSERT_TRUE(r.all_feasible);
+  EXPECT_DOUBLE_EQ(r.plan[0].f_clk, 0.0);
+  EXPECT_GT(r.plan[0].energy, 0.0);
+  EXPECT_LT(r.plan[0].energy, 1e-9);  // microwatt-scale leakage for 1 ms
+}
+
+TEST(Dvfs, ImpossibleRateFlagged) {
+  const auto nl = adder8();
+  const std::vector<c::WorkInterval> intervals{{1e-6, 1e9}};  // 1e15 ops/s
+  const auto r = c::plan_dvfs(nl, soi(), intervals, 0.4);
+  EXPECT_FALSE(r.all_feasible);
+  EXPECT_FALSE(r.plan[0].feasible);
+}
+
+TEST(Dvfs, RejectsEmptyAndBadIntervals) {
+  const auto nl = adder8();
+  EXPECT_THROW(c::plan_dvfs(nl, soi(), {}, 0.4), lv::util::Error);
+  EXPECT_THROW(c::plan_dvfs(nl, soi(), {{0.0, 10.0}}, 0.4),
+               lv::util::Error);
+}

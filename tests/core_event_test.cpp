@@ -1,0 +1,145 @@
+#include "core/event_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace c = lv::core;
+
+namespace {
+
+c::ModuleParams test_module() {
+  c::ModuleParams m;
+  m.name = "block";
+  m.c_fg = 6.5e-13;
+  m.c_bg = 7.0e-14;
+  m.i_leak_low = 1.6e-7;
+  m.i_leak_high = 1.6e-11;
+  m.i_leak_gated = 1.6e-13;
+  return m;
+}
+
+const c::BurstOperatingPoint kOp{1.0, 3.0, 50e6, 1.0};
+
+}  // namespace
+
+TEST(EventTrace, CountsAndDuty) {
+  c::EventTrace t;
+  t.runs = {10, 90, 30, 70};
+  EXPECT_EQ(t.total_cycles(), 200u);
+  EXPECT_EQ(t.busy_cycles(), 40u);
+  EXPECT_DOUBLE_EQ(t.duty(), 0.2);
+}
+
+TEST(EventTrace, BurstyGeneratorHitsTargetDuty) {
+  const auto t = c::make_bursty_trace(2000, 50, 200, 7);
+  EXPECT_NEAR(t.duty(), 50.0 / 250.0, 0.03);
+  EXPECT_EQ(t.runs.size(), 4000u);
+}
+
+TEST(EventTrace, XserverTraceMostlyIdle) {
+  // Paper: "an X server which is active 2% of the time" / "the processor
+  // spends more than 95% of its time in the off state".
+  const auto t = c::xserver_trace(1000, 3);
+  EXPECT_LT(t.duty(), 0.05);
+  EXPECT_GT(t.duty(), 0.005);
+}
+
+TEST(Policies, EnergyOrderingHolds) {
+  // ideal <= predictive/timeout <= always_on for a leaky mostly-idle
+  // block.
+  const auto trace = c::xserver_trace(500, 11);
+  const auto results =
+      c::evaluate_standard_policies(trace, test_module(), 0.4, kOp);
+  ASSERT_EQ(results.size(), 4u);
+  const auto& always = results[0];
+  const auto& timeout = results[1];
+  const auto& predictive = results[2];
+  const auto& ideal = results[3];
+  EXPECT_EQ(always.policy, "always_on");
+  EXPECT_EQ(ideal.policy, "ideal");
+  EXPECT_LE(ideal.energy, timeout.energy * 1.0001);
+  EXPECT_LE(ideal.energy, predictive.energy * 1.0001);
+  EXPECT_LT(timeout.energy, always.energy);
+  EXPECT_LT(predictive.energy, always.energy);
+}
+
+TEST(Policies, AlwaysOnNeverTransitions) {
+  const auto trace = c::xserver_trace(200, 5);
+  c::PolicyConfig cfg;
+  cfg.policy = c::ShutdownPolicy::always_on;
+  const auto r = c::evaluate_policy(trace, test_module(), 0.4, kOp, cfg);
+  EXPECT_EQ(r.transitions, 0u);
+  EXPECT_EQ(r.asleep_cycles, 0u);
+}
+
+TEST(Policies, IdealSleepsThroughLongIdlesOnly) {
+  c::EventTrace trace;
+  trace.runs = {10, 5000, 10, 5000};
+  c::PolicyConfig cfg;
+  cfg.policy = c::ShutdownPolicy::ideal;
+  const auto r = c::evaluate_policy(trace, test_module(), 0.4, kOp, cfg);
+  EXPECT_EQ(r.transitions, 2u);
+  EXPECT_EQ(r.asleep_cycles, 10000u);
+  // ...but refuses idles shorter than its transition breakeven.
+  c::EventTrace short_trace;
+  short_trace.runs = {10, 20, 10, 20};
+  const auto rs =
+      c::evaluate_policy(short_trace, test_module(), 0.4, kOp, cfg);
+  EXPECT_EQ(rs.transitions, 0u);
+}
+
+TEST(Policies, TimeoutSleepsOnlyLongIdles) {
+  c::EventTrace trace;
+  trace.runs = {10, 30, 10, 500};  // one short idle, one long idle
+  c::PolicyConfig cfg;
+  cfg.policy = c::ShutdownPolicy::timeout;
+  cfg.timeout_cycles = 64;
+  const auto r = c::evaluate_policy(trace, test_module(), 0.4, kOp, cfg);
+  EXPECT_EQ(r.transitions, 1u);
+  EXPECT_EQ(r.asleep_cycles, 500u - 64u);
+}
+
+TEST(Policies, PredictiveAdaptsToIdleLengths) {
+  // Long idles -> predictor learns to sleep; short idles -> stays awake.
+  c::EventTrace long_idles;
+  c::EventTrace short_idles;
+  for (int i = 0; i < 50; ++i) {
+    long_idles.runs.push_back(5);
+    long_idles.runs.push_back(4000);
+    short_idles.runs.push_back(5);
+    short_idles.runs.push_back(3);
+  }
+  c::PolicyConfig cfg;
+  cfg.policy = c::ShutdownPolicy::predictive;
+  const auto rl =
+      c::evaluate_policy(long_idles, test_module(), 0.4, kOp, cfg);
+  const auto rs =
+      c::evaluate_policy(short_idles, test_module(), 0.4, kOp, cfg);
+  EXPECT_GT(rl.transitions, 40u);
+  EXPECT_LT(rs.transitions, 5u);
+}
+
+TEST(Policies, WakeLatencyAccumulates) {
+  c::EventTrace trace;
+  trace.runs = {10, 500, 10, 500};
+  c::PolicyConfig cfg;
+  cfg.policy = c::ShutdownPolicy::ideal;
+  cfg.wake_latency = 7;
+  const auto r = c::evaluate_policy(trace, test_module(), 0.4, kOp, cfg);
+  EXPECT_EQ(r.stall_cycles, 14u);
+}
+
+TEST(Policies, SavingsGrowWithIdleness) {
+  const auto busy = c::make_bursty_trace(300, 200, 50, 9);    // ~80% duty
+  const auto idle = c::make_bursty_trace(300, 10, 8000, 9);   // ~0.1% duty
+  c::PolicyConfig cfg;
+  cfg.policy = c::ShutdownPolicy::ideal;
+  const auto m = test_module();
+  auto savings = [&](const c::EventTrace& t) {
+    c::PolicyConfig on = cfg;
+    on.policy = c::ShutdownPolicy::always_on;
+    const double e_on = c::evaluate_policy(t, m, 0.4, kOp, on).energy;
+    const double e_ideal = c::evaluate_policy(t, m, 0.4, kOp, cfg).energy;
+    return 1.0 - e_ideal / e_on;
+  };
+  EXPECT_GT(savings(idle), savings(busy) + 0.2);
+}

@@ -1,0 +1,104 @@
+#include "device/capacitance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace dev = lv::device;
+namespace u = lv::util;
+
+namespace {
+
+dev::CapacitanceModel model(double vt0 = 0.45) {
+  dev::MosfetParams p;
+  p.vt0 = vt0;
+  return dev::CapacitanceModel{p, 2.0e-6};
+}
+
+}  // namespace
+
+TEST(GateCap, BoundedByFloorAndCox) {
+  const auto m = model();
+  const double cmax = m.gate_cap_max();
+  for (double v = 0.0; v <= 3.0; v += 0.1) {
+    const double c = m.gate_cap(v);
+    EXPECT_GE(c, 0.55 * cmax * 0.99);
+    EXPECT_LE(c, cmax * 1.0001);
+  }
+}
+
+TEST(GateCap, MonotoneRisingWithVoltage) {
+  const auto m = model();
+  double prev = 0.0;
+  for (double v = 0.0; v <= 3.0; v += 0.05) {
+    const double c = m.gate_cap(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(GateCapEffective, IncreasesWithVdd) {
+  // This is exactly Fig. 1's message: switched capacitance grows with the
+  // supply because more of the swing sits in inversion.
+  const auto m = model();
+  const double c1 = m.gate_cap_effective(1.0);
+  const double c2 = m.gate_cap_effective(2.0);
+  const double c3 = m.gate_cap_effective(3.0);
+  EXPECT_GT(c2, c1);
+  EXPECT_GT(c3, c2);
+}
+
+TEST(GateCapEffective, ApproachesCoxAtHighVdd) {
+  const auto m = model();
+  EXPECT_GT(m.gate_cap_effective(5.0), 0.85 * m.gate_cap_max());
+}
+
+TEST(GateChargeEnergy, ReducesToCeffVddSquared) {
+  const auto m = model();
+  const double vdd = 1.5;
+  EXPECT_NEAR(m.gate_charge_energy(vdd),
+              m.gate_cap_effective(vdd) * vdd * vdd, 1e-20);
+}
+
+TEST(GateChargeEnergy, ZeroAtZeroVdd) {
+  EXPECT_DOUBLE_EQ(model().gate_charge_energy(0.0), 0.0);
+}
+
+TEST(JunctionCap, DecreasesWithReverseBias) {
+  const auto m = model();
+  const double c0 = m.junction_cap(0.0);
+  const double c1 = m.junction_cap(1.0);
+  const double c3 = m.junction_cap(3.0);
+  EXPECT_GT(c0, c1);
+  EXPECT_GT(c1, c3);
+}
+
+TEST(JunctionCap, EffectiveBetweenEndpointValues) {
+  const auto m = model();
+  const double ce = m.junction_cap_effective(2.0);
+  EXPECT_LT(ce, m.junction_cap(0.0));
+  EXPECT_GT(ce, m.junction_cap(2.0));
+}
+
+TEST(Caps, FemtofaradScale) {
+  // Sanity: a couple-of-micron gate in this technology is a few fF —
+  // the scale on Fig. 1's y axis.
+  const auto m = model();
+  EXPECT_GT(m.gate_cap_max(), 0.5 * u::femto);
+  EXPECT_LT(m.gate_cap_max(), 50.0 * u::femto);
+}
+
+TEST(Caps, InputAndParasiticComposition) {
+  const auto m = model();
+  const double vdd = 1.0;
+  EXPECT_NEAR(m.input_cap_effective(vdd),
+              m.gate_cap_effective(vdd) + m.overlap_cap(), 1e-21);
+  EXPECT_NEAR(m.drive_parasitic_effective(vdd),
+              m.junction_cap_effective(vdd) + m.overlap_cap(), 1e-21);
+}
+
+TEST(Caps, RejectsBadWidth) {
+  dev::MosfetParams p;
+  EXPECT_THROW((dev::CapacitanceModel{p, 0.0}), u::Error);
+}

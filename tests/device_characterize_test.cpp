@@ -1,0 +1,93 @@
+#include "device/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/process.hpp"
+#include "util/error.hpp"
+
+namespace dev = lv::device;
+
+namespace {
+
+dev::Mosfet device_with(double vt0, double n_sub, double alpha) {
+  auto params = lv::tech::soi_low_vt().nmos;
+  params.vt0 = vt0;
+  params.n_sub = n_sub;
+  params.alpha = alpha;
+  params.dibl = 0.0;  // extraction assumes a fixed-VT saturation sweep
+  return dev::Mosfet{params, 1.0e-6};
+}
+
+}  // namespace
+
+TEST(Sweeps, MonotoneAndSized) {
+  const auto m = device_with(0.3, 1.2, 1.5);
+  const auto ivg = dev::sweep_id_vgs(m, 1.2, 0.0, 1.2, 61);
+  ASSERT_EQ(ivg.size(), 61u);
+  for (std::size_t i = 1; i < ivg.size(); ++i)
+    EXPECT_GT(ivg[i].id, ivg[i - 1].id);
+
+  const auto ivd = dev::sweep_id_vds(m, 1.0, 0.0, 1.5, 31);
+  for (std::size_t i = 1; i < ivd.size(); ++i)
+    EXPECT_GE(ivd[i].id, ivd[i - 1].id);  // saturates, never decreases
+}
+
+TEST(Sweeps, RejectDegenerateRequests) {
+  const auto m = device_with(0.3, 1.2, 1.5);
+  EXPECT_THROW(dev::sweep_id_vgs(m, 1.0, 0.0, 1.0, 1), lv::util::Error);
+}
+
+TEST(Extraction, RoundTripsModelParameters) {
+  // Extraction applied to the model's own sweep must recover the model's
+  // parameters.
+  const double vt0 = 0.30;
+  const double n_sub = 1.20;
+  const double alpha = 1.50;
+  const auto m = device_with(vt0, n_sub, alpha);
+  const auto sweep = dev::sweep_id_vgs(m, 1.5, 0.0, 1.5, 301);
+  const auto x = dev::extract_parameters(sweep, m.wl_ratio(),
+                                         m.params().i_at_vt);
+  ASSERT_TRUE(x.valid);
+  EXPECT_NEAR(x.vt_constant_current, vt0, 0.02);
+  EXPECT_NEAR(x.subthreshold_slope, m.subthreshold_slope(), 0.004);
+  EXPECT_NEAR(x.alpha, alpha, 0.15);
+}
+
+TEST(Extraction, TracksThresholdAcrossDevices) {
+  for (const double vt0 : {0.15, 0.25, 0.35, 0.45}) {
+    const auto m = device_with(vt0, 1.1, 1.5);
+    const auto sweep = dev::sweep_id_vgs(m, 1.5, 0.0, 1.5, 301);
+    const auto x = dev::extract_parameters(sweep, m.wl_ratio(),
+                                           m.params().i_at_vt);
+    ASSERT_TRUE(x.valid) << vt0;
+    EXPECT_NEAR(x.vt_constant_current, vt0, 0.02) << vt0;
+  }
+}
+
+TEST(Extraction, SlopeTracksIdealityFactor) {
+  const auto steep = device_with(0.3, 1.05, 1.5);
+  const auto shallow = device_with(0.3, 1.45, 1.5);
+  const auto xs = dev::extract_parameters(
+      dev::sweep_id_vgs(steep, 1.5, 0.0, 1.5, 301), steep.wl_ratio(),
+      steep.params().i_at_vt);
+  const auto xh = dev::extract_parameters(
+      dev::sweep_id_vgs(shallow, 1.5, 0.0, 1.5, 301), shallow.wl_ratio(),
+      shallow.params().i_at_vt);
+  ASSERT_TRUE(xs.valid && xh.valid);
+  EXPECT_LT(xs.subthreshold_slope, xh.subthreshold_slope);
+  EXPECT_NEAR(xh.subthreshold_slope / xs.subthreshold_slope, 1.45 / 1.05,
+              0.1);
+}
+
+TEST(Extraction, InvalidOnTooFewPoints) {
+  const auto m = device_with(0.3, 1.2, 1.5);
+  const auto tiny = dev::sweep_id_vgs(m, 1.5, 0.0, 1.5, 5);
+  EXPECT_FALSE(dev::extract_parameters(tiny, m.wl_ratio()).valid);
+}
+
+TEST(Extraction, InvalidWhenThresholdOutsideSweep) {
+  const auto m = device_with(0.45, 1.2, 1.5);
+  // Sweep never reaches the threshold crossing.
+  const auto below = dev::sweep_id_vgs(m, 1.5, 0.0, 0.2, 50);
+  EXPECT_FALSE(dev::extract_parameters(below, m.wl_ratio()).valid);
+}

@@ -1,0 +1,179 @@
+#include "device/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace dev = lv::device;
+namespace u = lv::util;
+
+namespace {
+
+dev::MosfetParams nominal() {
+  dev::MosfetParams p;  // defaults are a sane 0.45 V device
+  return p;
+}
+
+dev::Mosfet make(double vt0, double n_sub = 1.35) {
+  dev::MosfetParams p = nominal();
+  p.vt0 = vt0;
+  p.n_sub = n_sub;
+  return dev::Mosfet{p, 1.2e-6};
+}
+
+}  // namespace
+
+TEST(MosfetThreshold, BodyEffectRaisesVt) {
+  const auto m = make(0.45);
+  const double vt0 = m.threshold(0.0);
+  const double vt1 = m.threshold(1.0);
+  const double vt2 = m.threshold(2.0);
+  EXPECT_GT(vt1, vt0);
+  EXPECT_GT(vt2, vt1);
+  // Square-root law: equal Vsb steps give diminishing VT steps — this is
+  // the paper's stated drawback of substrate-bias VT control.
+  EXPECT_LT(vt2 - vt1, vt1 - vt0);
+}
+
+TEST(MosfetThreshold, DiblLowersVtWithDrainBias) {
+  const auto m = make(0.45);
+  EXPECT_LT(m.threshold(0.0, 1.0), m.threshold(0.0, 0.0));
+}
+
+TEST(MosfetThreshold, TemperatureLowersVt) {
+  const auto m = make(0.45);
+  EXPECT_LT(m.threshold(0.0, 0.0, 360.0), m.threshold(0.0, 0.0, 300.0));
+}
+
+TEST(MosfetThreshold, StaticShiftIsAdditive) {
+  const auto m = make(0.45);
+  const auto shifted = m.with_vt_shift(-0.25);
+  EXPECT_NEAR(shifted.threshold(0.0), m.threshold(0.0) - 0.25, 1e-12);
+}
+
+TEST(MosfetSubthreshold, SlopeMatchesIdealityFactor) {
+  const auto m = make(0.45, 1.35);
+  const double s = m.subthreshold_slope(300.0);
+  EXPECT_NEAR(s, 1.35 * u::thermal_voltage(300.0) * u::ln10, 1e-12);
+  EXPECT_GT(s, 0.060);  // paper: 60 mV/dec is the room-temperature limit
+  EXPECT_LT(s, 0.090);
+}
+
+TEST(MosfetSubthreshold, ExponentialInVgsBelowVt) {
+  const auto m = make(0.45);
+  // One subthreshold-slope step in Vgs changes I by 10x.
+  const double s = m.subthreshold_slope();
+  const double i1 = m.subthreshold_current(0.10, 1.0);
+  const double i2 = m.subthreshold_current(0.10 + s, 1.0);
+  EXPECT_NEAR(i2 / i1, 10.0, 1e-6);
+}
+
+TEST(MosfetSubthreshold, DrainDependenceVanishesAboveFewVt) {
+  // Paper Section 2: for Vds >> Vt the leakage is independent of Vds
+  // (approximately, beyond ~0.1 V). Eq. 2 has no DIBL term, so test with
+  // DIBL disabled to isolate the (1 - e^{-Vds/Vt}) factor.
+  dev::MosfetParams p = nominal();
+  p.vt0 = 0.45;
+  p.dibl = 0.0;
+  const dev::Mosfet m{p, 1.2e-6};
+  const double i_100mv = m.subthreshold_current(0.0, 0.10);
+  const double i_1v = m.subthreshold_current(0.0, 1.0);
+  EXPECT_NEAR(i_1v / i_100mv, 1.0, 0.03);
+  // ...but at Vds ~ Vt the (1 - e^{-Vds/Vt}) factor matters.
+  const double i_25mv = m.subthreshold_current(0.0, 0.025);
+  EXPECT_LT(i_25mv / i_1v, 0.75);
+}
+
+TEST(MosfetSubthreshold, OffCurrentGapBetweenThresholds) {
+  // Fig. 2: the low-VT device leaks orders of magnitude more at Vgs = 0.
+  const auto hi = make(0.40);
+  const auto lo = make(0.25);
+  const double ratio = lo.off_current(1.0) / hi.off_current(1.0);
+  const double decades = std::log10(ratio);
+  EXPECT_GT(decades, 1.5);
+  EXPECT_LT(decades, 3.0);  // 150 mV at ~80 mV/dec
+}
+
+TEST(MosfetStrongInversion, ZeroBelowThreshold) {
+  const auto m = make(0.45);
+  EXPECT_DOUBLE_EQ(m.strong_inversion_current(0.3, 1.0), 0.0);
+}
+
+TEST(MosfetStrongInversion, AlphaPowerLawInOverdrive) {
+  dev::MosfetParams p = nominal();
+  p.vt0 = 0.40;
+  p.alpha = 1.5;
+  const dev::Mosfet m{p, 1.2e-6};
+  // Saturation current ratio for two overdrives follows (ov2/ov1)^alpha.
+  const double i1 = m.strong_inversion_current(0.9, 2.0);
+  const double i2 = m.strong_inversion_current(1.4, 2.0);
+  const double vt1 = m.threshold(0.0, 2.0);
+  const double expected = std::pow((1.4 - vt1) / (0.9 - vt1), 1.5);
+  EXPECT_NEAR(i2 / i1, expected, 1e-9);
+}
+
+TEST(MosfetStrongInversion, TriodeBelowSaturation) {
+  const auto m = make(0.40);
+  const double vgs = 1.2;
+  const double vsat = m.vdsat(vgs, 0.0, 0.4);
+  ASSERT_GT(vsat, 0.05);
+  const double i_triode = m.strong_inversion_current(vgs, vsat * 0.25);
+  const double i_sat = m.strong_inversion_current(vgs, vsat * 2.0);
+  EXPECT_LT(i_triode, i_sat);
+  EXPECT_GT(i_triode, 0.0);
+}
+
+TEST(MosfetTotalCurrent, MonotoneInVgs) {
+  const auto m = make(0.35);
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 1.5; vgs += 0.01) {
+    const double i = m.drain_current(vgs, 1.0);
+    EXPECT_GT(i, prev) << "at vgs=" << vgs;
+    prev = i;
+  }
+}
+
+TEST(MosfetTotalCurrent, ContinuousAcrossThreshold) {
+  const auto m = make(0.35);
+  const double below = m.drain_current(0.3499, 1.0);
+  const double above = m.drain_current(0.3501, 1.0);
+  EXPECT_NEAR(above / below, 1.0, 0.02);
+}
+
+TEST(MosfetTotalCurrent, ScalesWithWidth) {
+  dev::MosfetParams p = nominal();
+  const dev::Mosfet narrow{p, 1.0e-6};
+  const dev::Mosfet wide{p, 4.0e-6};
+  EXPECT_NEAR(wide.on_current(1.5) / narrow.on_current(1.5), 4.0, 1e-9);
+  EXPECT_NEAR(wide.off_current(1.5) / narrow.off_current(1.5), 4.0, 1e-9);
+}
+
+TEST(MosfetValidation, RejectsBadParams) {
+  dev::MosfetParams p = nominal();
+  p.alpha = 0.5;
+  EXPECT_THROW((dev::Mosfet{p, 1e-6}), u::Error);
+  p = nominal();
+  EXPECT_THROW((dev::Mosfet{p, -1e-6}), u::Error);
+  p = nominal();
+  p.n_sub = 0.5;
+  EXPECT_THROW((dev::Mosfet{p, 1e-6}), u::Error);
+}
+
+// Property sweep: off-current falls by ~one decade per subthreshold-slope
+// increment of VT, across a range of thresholds (the engine behind the
+// paper's optimum-VT analysis).
+class OffCurrentPerVt : public ::testing::TestWithParam<double> {};
+
+TEST_P(OffCurrentPerVt, DecadePerSlopeStep) {
+  const double vt = GetParam();
+  const auto a = make(vt);
+  const auto b = make(vt + a.subthreshold_slope());
+  const double ratio = a.off_current(1.0) / b.off_current(1.0);
+  EXPECT_NEAR(ratio, 10.0, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(VtSweep, OffCurrentPerVt,
+                         ::testing::Values(0.15, 0.25, 0.35, 0.45, 0.60));

@@ -1,0 +1,78 @@
+#include "device/soias.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tech/process.hpp"
+#include "util/units.hpp"
+
+namespace dev = lv::device;
+
+namespace {
+
+dev::SoiasDevice paper_device() {
+  // The calibrated SOIAS process of tech/process.cpp: VT(Vgb=0) = 0.448 V.
+  return lv::tech::soias().make_soias_nmos(1.0);
+}
+
+}  // namespace
+
+TEST(Soias, CouplingRatioFromGeometry) {
+  const auto d = paper_device();
+  // t_si=45nm / t_box=90nm / t_fox=9nm -> ratio ~ 0.086.
+  EXPECT_NEAR(d.coupling_ratio(), 0.086, 0.006);
+}
+
+TEST(Soias, PaperThresholdShift) {
+  // Fig. 6: Vgb 0 -> 3 V moves VT from 0.448 V to ~0.184 V (~250-265 mV).
+  const auto d = paper_device();
+  const double shift = -d.vt_shift(3.0);
+  EXPECT_NEAR(shift, 0.26, 0.03);
+  const double vt_active = d.active_device(3.0).threshold(0.0);
+  EXPECT_NEAR(vt_active, 0.184, 0.03);
+  EXPECT_NEAR(d.standby_device().threshold(0.0), 0.448, 1e-9);
+}
+
+TEST(Soias, FourDecadeOffCurrentReduction) {
+  // Fig. 6 annotation: ~4 decades between the two off currents.
+  const auto d = paper_device();
+  const double i_active = d.active_device(3.0).off_current(1.0);
+  const double i_standby = d.standby_device().off_current(1.0);
+  const double decades = std::log10(i_active / i_standby);
+  EXPECT_GT(decades, 3.0);
+  EXPECT_LT(decades, 5.0);
+}
+
+TEST(Soias, OnCurrentIncreaseNear80Percent) {
+  // Fig. 6 annotation: ~1.8x switching current at 1 V.
+  const auto d = paper_device();
+  const double ratio = d.active_device(3.0).on_current(1.0) /
+                       d.standby_device().on_current(1.0);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(Soias, ShiftLinearInBackGateVoltage) {
+  const auto d = paper_device();
+  EXPECT_NEAR(d.vt_shift(2.0), 2.0 * d.vt_shift(1.0), 1e-12);
+  EXPECT_NEAR(d.vt_shift(-1.0), -d.vt_shift(1.0), 1e-12);
+}
+
+TEST(Soias, BackGateCapPositiveAndBelowFrontCap) {
+  const auto d = paper_device();
+  const double cbg = d.back_gate_cap();
+  EXPECT_GT(cbg, 0.0);
+  // Series Cbox-Csi is necessarily smaller than the front gate oxide cap.
+  const double cof_area = lv::util::eps_ox / d.geometry().t_fox;
+  const double cfront = cof_area * d.base().width() * d.base().length();
+  EXPECT_LT(cbg, cfront);
+}
+
+TEST(Soias, ThinnerBoxCouplesHarder) {
+  auto thick = paper_device();
+  dev::SoiasGeometry g = thick.geometry();
+  g.t_box = g.t_box / 2.0;
+  const dev::SoiasDevice thin{thick.base(), g};
+  EXPECT_GT(thin.coupling_ratio(), thick.coupling_ratio());
+}

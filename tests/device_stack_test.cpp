@@ -1,0 +1,82 @@
+#include "device/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tech/process.hpp"
+
+namespace dev = lv::device;
+
+namespace {
+
+dev::Mosfet low_vt(double w_mult = 1.0) {
+  return lv::tech::soi_low_vt().make_nmos(w_mult);
+}
+
+dev::Mosfet high_vt(double w_mult = 1.0) {
+  return lv::tech::dual_vt_mtcmos().make_high_vt_nmos(w_mult);
+}
+
+}  // namespace
+
+TEST(StackLeakage, TwoOffDevicesLeakLessThanOne) {
+  const auto m = low_vt();
+  const double single = m.off_current(1.0);
+  const auto stack = dev::stack_leakage(m, m, 1.0);
+  EXPECT_TRUE(stack.converged);
+  EXPECT_LT(stack.current, single);
+  // Classic stack effect: substantial (several-x) reduction.
+  EXPECT_GT(single / stack.current, 3.0);
+}
+
+TEST(StackLeakage, IntermediateNodeSettlesLow) {
+  const auto m = low_vt();
+  const auto stack = dev::stack_leakage(m, m, 1.0);
+  EXPECT_GT(stack.intermediate_voltage, 0.0);
+  EXPECT_LT(stack.intermediate_voltage, 0.3);
+}
+
+TEST(StackLeakage, CurrentBalancesAtSolution) {
+  const auto m = low_vt();
+  const auto stack = dev::stack_leakage(m, m, 1.0);
+  const double vx = stack.intermediate_voltage;
+  const double i_top = m.subthreshold_current(-vx, 1.0 - vx, vx);
+  const double i_bot = m.subthreshold_current(0.0, vx, 0.0);
+  EXPECT_NEAR(i_top / i_bot, 1.0, 1e-3);
+}
+
+TEST(MtcmosStandby, HighVtSleepDeviceDominatesLeakage) {
+  // Paper Section 4: high-VT series switches cut the sub-threshold
+  // conduction of the low-VT logic during idle periods.
+  const auto logic = low_vt(20.0);   // wide low-VT logic block
+  const auto sleep = high_vt(10.0);  // high-VT footer
+  const double unguarded = logic.off_current(1.0);
+  const auto guarded = dev::mtcmos_standby_leakage(logic, sleep, 1.0);
+  EXPECT_GT(unguarded / guarded.current, 100.0);  // >= 2 decades
+}
+
+TEST(MtcmosStandby, WiderSleepDeviceLeaksMore) {
+  const auto logic = low_vt(20.0);
+  const auto small = dev::mtcmos_standby_leakage(logic, high_vt(2.0), 1.0);
+  const auto large = dev::mtcmos_standby_leakage(logic, high_vt(40.0), 1.0);
+  EXPECT_LT(small.current, large.current);
+}
+
+TEST(MtcmosDelayPenalty, ShrinksWithSleepWidth) {
+  const double i_logic = 2e-3;  // 2 mA peak demand
+  const double p_small =
+      dev::mtcmos_delay_penalty(high_vt(5.0), i_logic, 1.0);
+  const double p_large =
+      dev::mtcmos_delay_penalty(high_vt(50.0), i_logic, 1.0);
+  EXPECT_GT(p_small, p_large);
+  EXPECT_GE(p_large, 1.0);
+}
+
+TEST(MtcmosDelayPenalty, UnityWithoutCurrentDemand) {
+  EXPECT_DOUBLE_EQ(dev::mtcmos_delay_penalty(high_vt(1.0), 0.0, 1.0), 1.0);
+}
+
+TEST(MtcmosDelayPenalty, CollapsedRailFlagged) {
+  // A tiny sleep device under huge demand cannot hold the virtual rail.
+  const double p = dev::mtcmos_delay_penalty(high_vt(0.05), 0.1, 1.0);
+  EXPECT_GT(p, 1e6);
+}

@@ -1,0 +1,126 @@
+// Randomized structural fuzzing: generate random combinational DAGs and
+// check cross-module invariants that must hold for *any* valid netlist —
+// text round-trip fidelity, transform equivalence, STA/power sanity.
+#include <gtest/gtest.h>
+
+#include "circuit/netlist_io.hpp"
+#include "circuit/transforms.hpp"
+#include "power/estimator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "timing/sta.hpp"
+#include "util/random.hpp"
+
+namespace c = lv::circuit;
+namespace s = lv::sim;
+
+namespace {
+
+// Random DAG: `inputs` primary inputs, `gates` random cells whose inputs
+// are drawn from all previously created nets. Every sink is marked as an
+// output so nothing is dead.
+c::Netlist random_netlist(int inputs, int gates, std::uint64_t seed) {
+  lv::util::Xoshiro256 rng{seed};
+  c::Netlist nl;
+  std::vector<c::NetId> nets;
+  for (int i = 0; i < inputs; ++i)
+    nets.push_back(nl.add_input("in" + std::to_string(i)));
+
+  const c::CellKind kinds[] = {
+      c::CellKind::inv,   c::CellKind::buf,   c::CellKind::nand2,
+      c::CellKind::nor2,  c::CellKind::and2,  c::CellKind::or2,
+      c::CellKind::xor2,  c::CellKind::xnor2, c::CellKind::nand3,
+      c::CellKind::nor3,  c::CellKind::aoi21, c::CellKind::oai21,
+      c::CellKind::mux2,  c::CellKind::nand4};
+  for (int g = 0; g < gates; ++g) {
+    const auto kind = kinds[rng.next_below(std::size(kinds))];
+    const int arity = c::cell_info(kind).input_count;
+    std::vector<c::NetId> ins;
+    for (int k = 0; k < arity; ++k)
+      ins.push_back(nets[rng.next_below(nets.size())]);
+    nets.push_back(
+        nl.add_gate(kind, "g" + std::to_string(g), ins,
+                    g % 2 ? "even" : "odd"));
+  }
+  // Outputs: all nets nobody consumes.
+  for (const auto n : nets) {
+    if (!nl.net(n).is_primary_input && nl.fanout(n).empty())
+      nl.mark_output(n);
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace
+
+class NetlistFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetlistFuzz, TextRoundTripPreservesSimulation) {
+  const auto nl = random_netlist(10, 60, GetParam());
+  const auto back = c::parse_netlist_text(c::to_netlist_text(nl));
+  ASSERT_EQ(back.instance_count(), nl.instance_count());
+
+  s::Simulator sim_a{nl};
+  s::Simulator sim_b{back};
+  const c::Bus in_a = nl.primary_inputs();
+  c::Bus in_b;
+  for (const auto n : in_a) in_b.push_back(back.find_net(nl.net(n).name));
+  for (const auto v : s::random_vectors(100, 10, GetParam() ^ 1)) {
+    sim_a.set_bus(in_a, v);
+    sim_b.set_bus(in_b, v);
+    sim_a.settle();
+    sim_b.settle();
+    for (const auto out : nl.primary_outputs()) {
+      const auto out_b = back.find_net(nl.net(out).name);
+      ASSERT_EQ(sim_a.value(out), sim_b.value(out_b));
+    }
+  }
+}
+
+TEST_P(NetlistFuzz, OptimizePreservesOutputs) {
+  const auto nl = random_netlist(8, 50, GetParam());
+  const auto opt = c::optimize_netlist(nl);
+  EXPECT_LE(opt.instance_count(), nl.instance_count());
+
+  s::Simulator sim_a{nl};
+  s::Simulator sim_b{opt};
+  const c::Bus in_a = nl.primary_inputs();
+  c::Bus in_b;
+  for (const auto n : in_a) in_b.push_back(opt.find_net(nl.net(n).name));
+  for (const auto v : s::random_vectors(100, 8, GetParam() ^ 2)) {
+    sim_a.set_bus(in_a, v);
+    sim_b.set_bus(in_b, v);
+    sim_a.settle();
+    sim_b.settle();
+    for (const auto out : nl.primary_outputs()) {
+      const auto out_b = opt.find_net(nl.net(out).name);
+      ASSERT_NE(out_b, c::kInvalidNet);
+      ASSERT_EQ(sim_a.value(out), sim_b.value(out_b));
+    }
+  }
+}
+
+TEST_P(NetlistFuzz, AnalysesStaySane) {
+  const auto nl = random_netlist(8, 50, GetParam());
+  const auto tech = lv::tech::soi_low_vt();
+  // STA: positive finite critical delay; slacks consistent at the
+  // critical period.
+  const lv::timing::Sta sta{nl, tech, 1.0};
+  const auto base = sta.run(1.0);
+  EXPECT_GT(base.critical_delay, 0.0);
+  EXPECT_LT(base.critical_delay, 1e-6);
+  const auto timed = sta.run(base.critical_delay);
+  for (const double slack : timed.instance_slack)
+    EXPECT_GE(slack, -1e-15);
+  // Power: positive, components sum.
+  const lv::power::PowerEstimator est{nl, tech, {}};
+  const auto br = est.estimate_uniform(0.3);
+  EXPECT_GT(br.total(), 0.0);
+  EXPECT_NEAR(br.total(),
+              br.switching + br.short_circuit + br.leakage + br.clock,
+              br.total() * 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetlistFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));

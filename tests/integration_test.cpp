@@ -1,0 +1,142 @@
+// End-to-end pipelines across module boundaries: the flows a real user of
+// the toolkit runs, exercised in one process with no file system.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist_io.hpp"
+#include "circuit/transforms.hpp"
+#include "core/comparison.hpp"
+#include "opt/dual_vt.hpp"
+#include "power/estimator.hpp"
+#include "profile/profiler.hpp"
+#include "sim/activity_io.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "tech/techfile.hpp"
+#include "timing/sta.hpp"
+#include "workloads/idea.hpp"
+#include "workloads/kernels.hpp"
+
+namespace c = lv::circuit;
+namespace s = lv::sim;
+
+TEST(Integration, NetlistTextActivityTextPowerPipeline) {
+  // generate -> serialize -> parse -> simulate -> serialize activity ->
+  // parse -> estimate; the estimate must equal the all-in-memory path.
+  c::Netlist original;
+  const auto ports = c::build_ripple_carry_adder(original, 8);
+  const c::Netlist parsed =
+      c::parse_netlist_text(c::to_netlist_text(original));
+
+  auto run = [](const c::Netlist& nl) {
+    s::Simulator sim{nl};
+    c::Bus inputs = nl.primary_inputs();
+    sim.set_bus(inputs, 0);
+    sim.settle();
+    sim.clear_stats();
+    for (const auto v : s::random_vectors(800, 16, 0x1234)) {
+      sim.set_bus(inputs, v);
+      sim.settle();
+    }
+    return s::to_activity_text(nl, sim.stats());
+  };
+  const std::string act_a = run(original);
+  const std::string act_b = run(parsed);
+  EXPECT_EQ(act_a, act_b);  // same netlist, same seed, same activity
+
+  const auto stats = s::parse_activity_text(parsed, act_b);
+  const auto tech =
+      lv::tech::parse_techfile(lv::tech::to_techfile(lv::tech::soi_low_vt()));
+  const lv::power::PowerEstimator est{parsed, tech, {}};
+  const auto via_files = est.estimate(stats);
+
+  const lv::power::PowerEstimator direct_est{original,
+                                             lv::tech::soi_low_vt(), {}};
+  const auto direct =
+      direct_est.estimate(s::parse_activity_text(original, act_a));
+  EXPECT_NEAR(via_files.total(), direct.total(), direct.total() * 1e-9);
+  EXPECT_GT(via_files.total(), 0.0);
+  (void)ports;
+}
+
+TEST(Integration, OptimizeThenRetimeThenReestimate) {
+  // Transform pipeline preserves timing feasibility and reduces leakage:
+  // optimize -> dual-VT assign -> STA under mixed VT.
+  c::Netlist nl;
+  c::build_carry_lookahead_adder(nl, 16);
+  const auto optimized = c::optimize_netlist(nl);
+  const auto tech = lv::tech::dual_vt_mtcmos();
+  const auto assignment = lv::opt::assign_dual_vt(optimized, tech, 1.0, 0.1);
+  EXPECT_LT(assignment.leakage_after, assignment.leakage_before);
+
+  std::vector<double> shifts(optimized.instance_count(), 0.0);
+  for (std::size_t i = 0; i < shifts.size(); ++i)
+    if (assignment.use_high_vt[i]) shifts[i] = tech.high_vt_offset;
+  const lv::timing::Sta sta{optimized, tech, 1.0};
+  const auto timed = sta.run(assignment.clock_period, shifts);
+  EXPECT_LE(timed.critical_delay, assignment.clock_period * 1.0000001);
+}
+
+TEST(Integration, ProfileToSoiasDecision) {
+  // ISA profile -> activity vars -> netlist-derived module -> Eq. 3/4
+  // decision, for two workloads with opposite multiplier character.
+  lv::profile::ActivityProfiler idea_prof{lv::profile::UnitMap::standard(),
+                                          4};
+  lv::workloads::run_workload(lv::workloads::idea_workload(8), {&idea_prof});
+  lv::profile::ActivityProfiler li_prof{lv::profile::UnitMap::standard(), 4};
+  lv::workloads::run_workload(lv::workloads::li_workload(128), {&li_prof});
+
+  c::Netlist mul_nl;
+  c::build_array_multiplier(mul_nl, 8);
+  const auto tech = lv::tech::soias();
+  const auto module =
+      lv::core::module_params_from_netlist(mul_nl, tech, 1.0, "multiplier");
+  const lv::core::BurstOperatingPoint op{1.0, tech.backgate_swing, 50e6,
+                                         1.0};
+
+  // At 2% system duty, the multiplier is nearly idle in both workloads,
+  // but li never uses it at all -> at least as much to gain.
+  const auto idea_act = lv::core::activity_from_profile(
+      idea_prof.profile(lv::profile::FunctionalUnit::multiplier), 0.5, 0.02);
+  const auto li_act = lv::core::activity_from_profile(
+      li_prof.profile(lv::profile::FunctionalUnit::multiplier), 0.5, 0.02);
+  const auto idea_pt =
+      lv::core::evaluate_application("idea", module, idea_act, op);
+  const auto li_pt = lv::core::evaluate_application("li", module, li_act, op);
+  EXPECT_LT(idea_pt.log_ratio, 0.0);
+  EXPECT_LT(li_pt.log_ratio, 0.0);
+  EXPECT_GE(li_pt.savings_percent, idea_pt.savings_percent - 1e-9);
+}
+
+TEST(Integration, NewWorkloadsVerifyAndProfileSanely) {
+  lv::profile::ActivityProfiler mat_prof;
+  const auto mat =
+      lv::workloads::run_workload(lv::workloads::matmul_workload(6),
+                                  {&mat_prof});
+  EXPECT_TRUE(mat.verified);
+  lv::profile::ActivityProfiler str_prof;
+  const auto str =
+      lv::workloads::run_workload(lv::workloads::strsearch_workload(128, 3),
+                                  {&str_prof});
+  EXPECT_TRUE(str.verified);
+  // Matmul saturates the multiplier relative to string search.
+  const double mat_mul =
+      mat_prof.profile(lv::profile::FunctionalUnit::multiplier).fga;
+  const double str_mul =
+      str_prof.profile(lv::profile::FunctionalUnit::multiplier).fga;
+  EXPECT_GT(mat_mul, 0.05);
+  EXPECT_LT(str_mul, 0.01);
+  // String search is memory/branch bound.
+  EXPECT_GT(str_prof.profile(lv::profile::FunctionalUnit::memory_port).fga,
+            0.15);
+}
+
+TEST(Integration, TransformedNetlistRoundTripsThroughText) {
+  c::Netlist nl;
+  c::build_alu(nl, 8);
+  const auto optimized = c::optimize_netlist(nl);
+  const auto buffered = c::insert_fanout_buffers(optimized, 6);
+  const auto back = c::parse_netlist_text(c::to_netlist_text(buffered));
+  EXPECT_EQ(back.instance_count(), buffered.instance_count());
+  EXPECT_NO_THROW(back.validate());
+}

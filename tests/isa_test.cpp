@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/isa.hpp"
+#include "isa/machine.hpp"
+#include "util/error.hpp"
+
+namespace i = lv::isa;
+namespace u = lv::util;
+
+TEST(IsaEncoding, RoundTripsEveryOpcodeShape) {
+  using O = i::Opcode;
+  const i::Instruction cases[] = {
+      {O::add, 3, 1, 2, 0},     {O::mul, 31, 30, 29, 0},
+      {O::addi, 5, 6, 0, -42},  {O::andi, 7, 8, 0, 255},
+      {O::lui, 9, 0, 0, 0xabc}, {O::lw, 10, 11, 0, 64},
+      {O::sw, 0, 12, 13, -8},   {O::beq, 0, 14, 15, -100},
+      {O::jal, 31, 0, 0, 500},  {O::jalr, 1, 2, 0, 12},
+      {O::halt, 0, 0, 0, 0},    {O::srai, 4, 5, 0, 31},
+  };
+  for (const auto& in : cases) {
+    const auto back = i::decode(i::encode(in));
+    EXPECT_EQ(back.opcode, in.opcode) << i::to_string(in);
+    if (i::is_branch(in.opcode) || in.opcode == O::sw) {
+      EXPECT_EQ(back.rs1, in.rs1) << i::to_string(in);
+      EXPECT_EQ(back.rs2, in.rs2) << i::to_string(in);
+    } else {
+      EXPECT_EQ(back.rd, in.rd) << i::to_string(in);
+    }
+    if (i::uses_immediate(in.opcode) && in.opcode != O::lui) {
+      EXPECT_EQ(back.imm, in.imm) << i::to_string(in);
+    }
+  }
+}
+
+TEST(IsaEncoding, MnemonicRoundTrip) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(i::Opcode::opcode_count);
+       ++k) {
+    const auto op = static_cast<i::Opcode>(k);
+    const auto back = i::opcode_from_mnemonic(i::mnemonic(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(i::opcode_from_mnemonic("frobnicate").has_value());
+}
+
+TEST(Machine, R0IsHardwiredZero) {
+  i::Machine m;
+  m.set_reg(0, 123);
+  EXPECT_EQ(m.reg(0), 0u);
+}
+
+TEST(Machine, ArithmeticAndLogic) {
+  const auto prog = i::assemble(R"(
+    addi r1, r0, 7
+    addi r2, r0, -3
+    add  r3, r1, r2     ; 4
+    sub  r4, r1, r2     ; 10
+    and  r5, r1, r2     ; 7 & 0xfffffffd = 5
+    or   r6, r1, r2
+    xor  r7, r1, r2
+    slt  r8, r2, r1     ; -3 < 7 -> 1
+    sltu r9, r2, r1     ; 0xfffffffd < 7 unsigned -> 0
+    halt
+  )");
+  i::Machine m;
+  m.load(prog.words);
+  m.run();
+  EXPECT_EQ(m.reg(3), 4u);
+  EXPECT_EQ(m.reg(4), 10u);
+  EXPECT_EQ(m.reg(5), 5u);
+  EXPECT_EQ(m.reg(6), 0xffffffffu);
+  EXPECT_EQ(m.reg(7), 0xfffffffau);
+  EXPECT_EQ(m.reg(8), 1u);
+  EXPECT_EQ(m.reg(9), 0u);
+}
+
+TEST(Machine, ShiftsSignedAndUnsigned) {
+  const auto prog = i::assemble(R"(
+    li   r1, 0x80000000
+    srli r2, r1, 4       ; 0x08000000
+    srai r3, r1, 4       ; 0xf8000000
+    slli r4, r1, 1       ; 0
+    addi r5, r0, 3
+    sll  r6, r5, r5      ; 24
+    halt
+  )");
+  i::Machine m;
+  m.load(prog.words);
+  m.run();
+  EXPECT_EQ(m.reg(2), 0x08000000u);
+  EXPECT_EQ(m.reg(3), 0xf8000000u);
+  EXPECT_EQ(m.reg(4), 0u);
+  EXPECT_EQ(m.reg(6), 24u);
+}
+
+TEST(Machine, MultiplyFullWidth) {
+  const auto prog = i::assemble(R"(
+    li    r1, 0xffffffff
+    li    r2, 0xffffffff
+    mul   r3, r1, r2     ; low  = 1
+    mulhu r4, r1, r2     ; high = 0xfffffffe
+    halt
+  )");
+  i::Machine m;
+  m.load(prog.words);
+  m.run();
+  EXPECT_EQ(m.reg(3), 1u);
+  EXPECT_EQ(m.reg(4), 0xfffffffeu);
+}
+
+TEST(Machine, LiComposesAny32BitConstant) {
+  for (const std::uint32_t value :
+       {0u, 1u, 0x8000u, 0xffffu, 0x12348765u, 0xffffffffu, 0x80000000u}) {
+    const auto prog =
+        i::assemble("li r1, " + std::to_string(value) + "\nhalt\n");
+    i::Machine m;
+    m.load(prog.words);
+    m.run();
+    EXPECT_EQ(m.reg(1), value);
+  }
+}
+
+TEST(Machine, LoadStoreRoundTrip) {
+  const auto prog = i::assemble(R"(
+    li   r1, 0xdeadbeef
+    li   r2, buf
+    sw   r1, 4(r2)
+    lw   r3, 4(r2)
+    halt
+    buf: .space 4
+  )");
+  i::Machine m;
+  m.load(prog.words);
+  m.run();
+  EXPECT_EQ(m.reg(3), 0xdeadbeefu);
+}
+
+TEST(Machine, BranchesAndLoops) {
+  // Sum 1..10 with a loop.
+  const auto prog = i::assemble(R"(
+    addi r1, r0, 10
+    move r2, r0
+  loop:
+    add  r2, r2, r1
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+  )");
+  i::Machine m;
+  m.load(prog.words);
+  const auto retired = m.run();
+  EXPECT_EQ(m.reg(2), 55u);
+  EXPECT_EQ(retired, 2u + 3u * 10u + 1u);
+}
+
+TEST(Machine, JalAndJalrSubroutine) {
+  const auto prog = i::assemble(R"(
+    addi r1, r0, 5
+    jal  ra, double_it
+    add  r4, r2, r0
+    halt
+  double_it:
+    add  r2, r1, r1
+    jalr r0, ra, 0
+  )");
+  i::Machine m;
+  m.load(prog.words);
+  m.run();
+  EXPECT_EQ(m.reg(4), 10u);
+}
+
+TEST(Machine, HaltStopsAndStepReturnsFalse) {
+  const auto prog = i::assemble("halt\n");
+  i::Machine m;
+  m.load(prog.words);
+  EXPECT_FALSE(m.step());
+  EXPECT_TRUE(m.halted());
+  EXPECT_FALSE(m.step());
+}
+
+TEST(Machine, RunThrowsOnBudgetExhaustion) {
+  const auto prog = i::assemble("loop: j loop\n");
+  i::Machine m;
+  m.load(prog.words);
+  EXPECT_THROW(m.run(1000), u::Error);
+}
+
+TEST(Machine, MemoryBoundsChecked) {
+  i::Machine m{16};
+  EXPECT_THROW(m.load_word(1 << 20), u::Error);
+  EXPECT_THROW(m.store_word(2, 0), u::Error);  // unaligned
+}
+
+TEST(Assembler, LabelArithmeticAndData) {
+  const auto prog = i::assemble(R"(
+    start: j over
+    table: .word 10, 0x20, -1
+    over:  halt
+  )");
+  EXPECT_EQ(prog.label("table"), 4u);
+  EXPECT_EQ(prog.words.at(1), 10u);
+  EXPECT_EQ(prog.words.at(2), 0x20u);
+  EXPECT_EQ(prog.words.at(3), 0xffffffffu);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    i::assemble("nop\nbogus r1, r2\n");
+    FAIL() << "expected throw";
+  } catch (const u::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, RejectsBadRegisterAndDuplicateLabel) {
+  EXPECT_THROW(i::assemble("add r1, r2, r99\n"), u::Error);
+  EXPECT_THROW(i::assemble("a: nop\na: nop\n"), u::Error);
+  EXPECT_THROW(i::assemble("beq r1, r2, nowhere\n"), u::Error);
+}
+
+TEST(Assembler, BackwardAndForwardBranchTargets) {
+  const auto prog = i::assemble(R"(
+    addi r1, r0, 2
+  back:
+    addi r1, r1, -1
+    beq  r1, r0, fwd
+    j    back
+  fwd:
+    addi r2, r0, 9
+    halt
+  )");
+  i::Machine m;
+  m.load(prog.words);
+  m.run();
+  EXPECT_EQ(m.reg(2), 9u);
+}
+
+TEST(Observer, SeesEveryRetiredInstruction) {
+  struct Counter : i::ExecutionObserver {
+    std::uint64_t count = 0;
+    void on_instruction(const i::Instruction&, const i::Machine&) override {
+      ++count;
+    }
+  };
+  const auto prog = i::assemble("nop\nnop\nnop\nhalt\n");
+  i::Machine m;
+  m.load(prog.words);
+  Counter counter;
+  m.add_observer(&counter);
+  m.run();
+  EXPECT_EQ(counter.count, 4u);
+  EXPECT_EQ(m.instructions_retired(), 4u);
+}

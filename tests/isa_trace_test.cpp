@@ -1,0 +1,119 @@
+#include "isa/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "workloads/kernels.hpp"
+
+namespace i = lv::isa;
+
+namespace {
+
+i::TraceRecorder run_source(const std::string& source,
+                            std::size_t max_entries = 1 << 20) {
+  i::TraceRecorder recorder{max_entries};
+  const auto prog = i::assemble(source);
+  i::Machine m;
+  m.load(prog.words);
+  m.add_observer(&recorder);
+  m.run();
+  return recorder;
+}
+
+}  // namespace
+
+TEST(Trace, StraightLineAddressesSequential) {
+  const auto rec = run_source("nop\nnop\nnop\nhalt\n");
+  ASSERT_EQ(rec.trace().size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(rec.trace()[k].pc, 4 * k);
+  EXPECT_EQ(rec.total(), 4u);
+  EXPECT_FALSE(rec.truncated());
+}
+
+TEST(Trace, LoopAddressesRepeat) {
+  const auto rec = run_source(R"(
+    addi r1, r0, 3
+  loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+  )");
+  // addi@0, then 3x (addi@4, bne@8), halt@12.
+  ASSERT_EQ(rec.trace().size(), 8u);
+  EXPECT_EQ(rec.trace()[1].pc, 4u);
+  EXPECT_EQ(rec.trace()[3].pc, 4u);  // loop back
+  EXPECT_EQ(rec.trace()[5].pc, 4u);
+  EXPECT_EQ(rec.trace().back().pc, 12u);
+}
+
+TEST(Trace, OpcodeCountsMatchTotals) {
+  const auto rec = run_source(R"(
+    addi r1, r0, 5
+  loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+  )");
+  EXPECT_EQ(rec.opcode_counts().at(i::Opcode::addi), 6u);
+  EXPECT_EQ(rec.opcode_counts().at(i::Opcode::bne), 5u);
+  EXPECT_EQ(rec.opcode_counts().at(i::Opcode::halt), 1u);
+  std::uint64_t sum = 0;
+  for (const auto& [op, count] : rec.opcode_counts()) sum += count;
+  EXPECT_EQ(sum, rec.total());
+  const auto table = rec.opcode_table();
+  EXPECT_EQ(table.columns(), 3u);
+  EXPECT_GE(table.rows(), 3u);
+}
+
+TEST(Trace, TruncationKeepsCounting) {
+  const auto rec = run_source(R"(
+    addi r1, r0, 100
+  loop:
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+  )",
+                              16);
+  EXPECT_TRUE(rec.truncated());
+  EXPECT_EQ(rec.trace().size(), 16u);
+  EXPECT_EQ(rec.total(), 1u + 200u + 1u);
+}
+
+TEST(BasicBlocks, LoopBodyDetected) {
+  const auto rec = run_source(R"(
+    addi r1, r0, 4
+  loop:
+    addi r2, r2, 1
+    addi r3, r3, 2
+    bne  r1, r2, loop
+    halt
+  )");
+  const auto blocks = i::basic_blocks(rec.trace());
+  // Blocks: entry (addi@0 .. first fall into loop), loop body (@4, 3
+  // instrs, 4 executions), halt (@16).
+  const auto loop_block =
+      std::find_if(blocks.begin(), blocks.end(),
+                   [](const i::BasicBlock& b) { return b.leader == 4; });
+  ASSERT_NE(loop_block, blocks.end());
+  EXPECT_EQ(loop_block->instructions, 3u);
+  EXPECT_GE(loop_block->executions, 3u);
+}
+
+TEST(BasicBlocks, HottestBlockOfKernelIsItsInnerLoop) {
+  i::TraceRecorder recorder;
+  lv::workloads::run_workload(lv::workloads::crc32_workload(16),
+                              {&recorder});
+  const auto hot = i::hottest_blocks(recorder.trace(), 3);
+  ASSERT_FALSE(hot.empty());
+  // The bit loop executes 32x per word; it must dominate everything.
+  EXPECT_GT(hot.front().executions, 100u);
+  const auto all = i::basic_blocks(recorder.trace());
+  for (const auto& b : all)
+    EXPECT_LE(b.executions * b.instructions,
+              hot.front().executions * hot.front().instructions);
+}
+
+TEST(BasicBlocks, EmptyTraceYieldsNoBlocks) {
+  EXPECT_TRUE(i::basic_blocks({}).empty());
+}

@@ -1,0 +1,138 @@
+#include "opt/energy_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "core/parallel_arch.hpp"
+#include "tech/process.hpp"
+
+namespace c = lv::circuit;
+namespace o = lv::opt;
+
+namespace {
+
+const lv::tech::Process& soi() {
+  static const auto tech = lv::tech::soi_low_vt();
+  return tech;
+}
+
+c::Netlist adder8() {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  return nl;
+}
+
+}  // namespace
+
+TEST(EnergyDelay, SweepShapes) {
+  const auto nl = adder8();
+  const auto r = o::explore_energy_delay(nl, soi(), 0.3, 0.3, 1.6, 20);
+  ASSERT_EQ(r.sweep.size(), 20u);
+  // Delay decreases and energy increases with vdd over feasible points.
+  double prev_delay = 1e9;
+  double prev_energy = 0.0;
+  for (const auto& pt : r.sweep) {
+    if (!pt.feasible) continue;
+    EXPECT_LT(pt.delay, prev_delay);
+    EXPECT_GT(pt.energy, prev_energy * 0.999);
+    prev_delay = pt.delay;
+    prev_energy = pt.energy;
+  }
+}
+
+TEST(EnergyDelay, MinEdpIsInteriorAndConsistent) {
+  const auto nl = adder8();
+  const auto r = o::explore_energy_delay(nl, soi(), 0.3, 0.25, 1.8, 30);
+  ASSERT_TRUE(r.min_edp.feasible);
+  for (const auto& pt : r.sweep)
+    if (pt.feasible) {
+      EXPECT_GE(pt.edp, r.min_edp.edp * 0.999999);
+    }
+  // ED^2 weighs delay harder, so its optimum sits at a higher supply.
+  ASSERT_TRUE(r.min_ed2.feasible);
+  EXPECT_GE(r.min_ed2.vdd, r.min_edp.vdd - 1e-9);
+}
+
+TEST(EnergyDelay, DelayCapSelectsSlowestFittingSupply) {
+  const auto nl = adder8();
+  const auto uncapped = o::explore_energy_delay(nl, soi(), 0.3, 0.25, 1.8,
+                                                30);
+  // Cap at twice the fastest achievable delay.
+  double best_delay = 1e9;
+  for (const auto& pt : uncapped.sweep)
+    if (pt.feasible) best_delay = std::min(best_delay, pt.delay);
+  const auto capped = o::explore_energy_delay(nl, soi(), 0.3, 0.25, 1.8, 30,
+                                              2.0 * best_delay);
+  ASSERT_TRUE(capped.min_energy_capped.feasible);
+  EXPECT_LE(capped.min_energy_capped.delay, 2.0 * best_delay);
+  // The capped choice is cheaper than the fastest point.
+  double fastest_energy = 0.0;
+  for (const auto& pt : capped.sweep)
+    if (pt.feasible && pt.delay == best_delay) fastest_energy = pt.energy;
+  if (fastest_energy > 0.0) {
+    EXPECT_LT(capped.min_energy_capped.energy, fastest_energy);
+  }
+}
+
+TEST(EnergyDelay, ImpossibleCapLeavesInvalid) {
+  const auto nl = adder8();
+  const auto r =
+      o::explore_energy_delay(nl, soi(), 0.3, 0.25, 1.8, 20, 1e-15);
+  EXPECT_FALSE(r.min_energy_capped.feasible);
+}
+
+TEST(Parallelism, VddDropsWithLanes) {
+  const auto nl = adder8();
+  // Target rate chosen so one lane must run near the top of the supply
+  // range; extra lanes relax the budget and the solved supply falls
+  // (bottoming out at the sub-threshold feasibility floor).
+  const auto r = lv::core::explore_parallelism(nl, soi(), 3.5e9, 0.4, 6);
+  ASSERT_GE(r.sweep.size(), 2u);
+  ASSERT_TRUE(r.sweep[0].feasible);
+  ASSERT_TRUE(r.sweep[1].feasible);
+  EXPECT_LT(r.sweep[1].vdd, 0.8 * r.sweep[0].vdd);
+  double prev_vdd = 10.0;
+  for (const auto& pt : r.sweep) {
+    if (!pt.feasible) continue;
+    EXPECT_LE(pt.vdd, prev_vdd + 1e-9);
+    prev_vdd = pt.vdd;
+  }
+}
+
+TEST(Parallelism, ParallelismBeatsSingleLaneAtHighRate) {
+  // The architectural voltage-scaling headline: N > 1 wins when the
+  // single lane must run near max supply.
+  const auto nl = adder8();
+  const auto r = lv::core::explore_parallelism(nl, soi(), 3.5e9, 0.4, 6);
+  ASSERT_TRUE(r.best.feasible);
+  EXPECT_GT(r.best.lanes, 1);
+  const auto& single = r.sweep.front();
+  ASSERT_TRUE(single.feasible);
+  EXPECT_LT(r.best.energy_per_op, 0.7 * single.energy_per_op);
+}
+
+TEST(Parallelism, OverheadAndLeakageBoundTheWin) {
+  // With huge mux overhead the optimum collapses back toward N = 1.
+  const auto nl = adder8();
+  const auto greedy =
+      lv::core::explore_parallelism(nl, soi(), 3.5e9, 0.4, 8, 0.0);
+  const auto costly =
+      lv::core::explore_parallelism(nl, soi(), 3.5e9, 0.4, 8, 2.0);
+  ASSERT_TRUE(greedy.best.feasible && costly.best.feasible);
+  EXPECT_LE(costly.best.lanes, greedy.best.lanes);
+}
+
+TEST(Parallelism, InfeasibleRateReported) {
+  const auto nl = adder8();
+  // An absurd rate no supply can reach with one lane.
+  const auto r = lv::core::explore_parallelism(nl, soi(), 1.0e12, 0.4, 2);
+  EXPECT_FALSE(r.sweep.front().feasible);
+}
+
+TEST(Parallelism, AreaFactorGrowsSuperlinearly) {
+  const auto nl = adder8();
+  const auto r = lv::core::explore_parallelism(nl, soi(), 1.0e8, 0.4, 4);
+  for (std::size_t i = 1; i < r.sweep.size(); ++i)
+    EXPECT_GT(r.sweep[i].area_factor,
+              static_cast<double>(r.sweep[i].lanes));
+}

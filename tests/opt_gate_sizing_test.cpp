@@ -1,0 +1,104 @@
+#include "opt/gate_sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "opt/dual_vt.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+
+namespace c = lv::circuit;
+namespace o = lv::opt;
+
+namespace {
+
+const lv::tech::Process& soi() {
+  static const auto tech = lv::tech::soi_low_vt();
+  return tech;
+}
+
+}  // namespace
+
+TEST(GateSizing, DownsizingCutsCapAndLeakageWithinPeriod) {
+  c::Netlist nl;
+  c::build_carry_lookahead_adder(nl, 16);
+  const auto r = o::downsize_gates(nl, soi(), 1.0, 0.05);
+  EXPECT_GT(r.downsized, nl.instance_count() / 4);
+  EXPECT_LE(r.delay_after, r.clock_period * 1.0000001);
+  EXPECT_LT(r.cap_after, r.cap_before);
+  EXPECT_LT(r.leakage_after, r.leakage_before);
+}
+
+TEST(GateSizing, MoreMarginMoreDownsizing) {
+  c::Netlist nl;
+  c::build_carry_lookahead_adder(nl, 16);
+  const auto tight = o::downsize_gates(nl, soi(), 1.0, 0.0);
+  const auto loose = o::downsize_gates(nl, soi(), 1.0, 0.5);
+  EXPECT_GE(loose.downsized, tight.downsized);
+  EXPECT_LE(loose.cap_after, tight.cap_after * 1.0000001);
+}
+
+TEST(GateSizing, SmallerMinSizeSavesMoreCap) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const auto mild = o::downsize_gates(nl, soi(), 1.0, 0.2, 0.8);
+  const auto aggressive = o::downsize_gates(nl, soi(), 1.0, 0.2, 0.4);
+  EXPECT_LT(aggressive.cap_after, mild.cap_after);
+}
+
+TEST(GateSizing, SizeVectorConsistentWithCount) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const auto r = o::downsize_gates(nl, soi(), 1.0, 0.1, 0.5);
+  ASSERT_EQ(r.sizes.size(), nl.instance_count());
+  std::size_t small = 0;
+  for (const double s : r.sizes) {
+    EXPECT_TRUE(s == 1.0 || s == 0.5);
+    small += s == 0.5;
+  }
+  EXPECT_EQ(small, r.downsized);
+}
+
+TEST(GateSizing, ComposesWithDualVt) {
+  // Assign high VT first, then downsize within what slack remains; the
+  // stack of both moves must still meet the (dual-VT) period.
+  c::Netlist nl;
+  c::build_carry_lookahead_adder(nl, 16);
+  const auto dual = lv::tech::dual_vt_mtcmos();
+  const auto vt = o::assign_dual_vt(nl, dual, 1.0, 0.10);
+  std::vector<double> shifts(nl.instance_count(), 0.0);
+  for (std::size_t i = 0; i < shifts.size(); ++i)
+    if (vt.use_high_vt[i]) shifts[i] = dual.high_vt_offset;
+  const auto sized = o::downsize_gates(nl, dual, 1.0, 0.10, 0.5, 8, &shifts);
+  EXPECT_GT(sized.downsized, 0u);
+  const lv::timing::Sta sta{nl, dual, 1.0};
+  const auto timed = sta.run(sized.clock_period, shifts, sized.sizes);
+  EXPECT_LE(timed.critical_delay, sized.clock_period * 1.0000001);
+}
+
+TEST(GateSizing, RejectsBadMinSize) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  EXPECT_THROW(o::downsize_gates(nl, soi(), 1.0, 0.05, 1.5),
+               lv::util::Error);
+  EXPECT_THROW(o::downsize_gates(nl, soi(), 1.0, 0.05, 0.0),
+               lv::util::Error);
+}
+
+TEST(SizedSta, SizesChangeDelaysBothWays) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const lv::timing::Sta sta{nl, soi(), 1.0};
+  const std::vector<double> shifts(nl.instance_count(), 0.0);
+  const std::vector<double> unit(nl.instance_count(), 1.0);
+  const std::vector<double> small(nl.instance_count(), 0.5);
+  const std::vector<double> large(nl.instance_count(), 2.0);
+  const auto base = sta.run(1.0, shifts, unit);
+  const auto shrunk = sta.run(1.0, shifts, small);
+  const auto grown = sta.run(1.0, shifts, large);
+  // Uniform scaling: drive and load scale together, so delay is nearly
+  // unchanged except for the (unscaled) wire component, which makes the
+  // small netlist relatively slower.
+  EXPECT_GT(shrunk.critical_delay, base.critical_delay);
+  EXPECT_LT(grown.critical_delay, base.critical_delay * 1.01);
+}

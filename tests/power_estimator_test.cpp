@@ -1,0 +1,206 @@
+#include "power/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "sim/stimulus.hpp"
+#include "tech/process.hpp"
+#include "util/units.hpp"
+
+namespace c = lv::circuit;
+namespace p = lv::power;
+namespace s = lv::sim;
+namespace u = lv::util;
+
+namespace {
+
+struct Rig {
+  c::Netlist nl;
+  c::AdderPorts ports;
+
+  Rig() : ports{c::build_ripple_carry_adder(nl, 8)} {}
+
+  s::ActivityStats run(std::size_t vectors = 1000) {
+    s::Simulator sim{nl};
+    sim.set_bus(ports.a, 0);
+    sim.set_bus(ports.b, 0);
+    sim.settle();
+    sim.clear_stats();
+    const auto a = s::random_vectors(vectors, 8, 5);
+    const auto b = s::random_vectors(vectors, 8, 6);
+    s::run_two_operand_workload(sim, ports.a, ports.b, a, b);
+    return sim.stats();
+  }
+};
+
+}  // namespace
+
+TEST(PowerEstimator, ComponentsPositiveAndSumToTotal) {
+  Rig rig;
+  const auto stats = rig.run();
+  const p::PowerEstimator est{rig.nl, lv::tech::soi_low_vt(), {}};
+  const auto br = est.estimate(stats);
+  EXPECT_GT(br.switching, 0.0);
+  EXPECT_GT(br.short_circuit, 0.0);
+  EXPECT_GT(br.leakage, 0.0);
+  EXPECT_DOUBLE_EQ(br.clock, 0.0);  // combinational netlist
+  EXPECT_NEAR(br.total(),
+              br.switching + br.short_circuit + br.leakage + br.clock,
+              1e-18);
+}
+
+TEST(PowerEstimator, UniformSwitchingLinearInAlpha) {
+  Rig rig;
+  const p::PowerEstimator est{rig.nl, lv::tech::soi_low_vt(), {}};
+  const auto a1 = est.estimate_uniform(0.1);
+  const auto a2 = est.estimate_uniform(0.2);
+  EXPECT_NEAR(a2.switching / a1.switching, 2.0, 1e-9);
+  EXPECT_NEAR(a2.leakage, a1.leakage, 1e-15);  // leakage activity-free
+}
+
+TEST(PowerEstimator, SwitchingSuperQuadraticInVdd) {
+  // Paper Fig. 1: C_eff itself rises with V_DD, so switching energy grows
+  // faster than V_DD^2.
+  Rig rig;
+  const auto tech = lv::tech::soi_low_vt();
+  p::OperatingPoint lo{0.8, 50e6, 0.0, 300.0};
+  p::OperatingPoint hi{1.6, 50e6, 0.0, 300.0};
+  const auto sw_lo =
+      p::PowerEstimator{rig.nl, tech, lo}.estimate_uniform(0.2).switching;
+  const auto sw_hi =
+      p::PowerEstimator{rig.nl, tech, hi}.estimate_uniform(0.2).switching;
+  EXPECT_GT(sw_hi / sw_lo, (1.6 * 1.6) / (0.8 * 0.8));
+}
+
+TEST(PowerEstimator, LeakageExplodesWithLoweredVt) {
+  Rig rig;
+  const auto tech = lv::tech::soi_low_vt();
+  const p::PowerEstimator base{rig.nl, tech, {}};
+  p::OperatingPoint op;
+  op.vt_shift = -0.1;
+  const p::PowerEstimator lowered{rig.nl, tech, op};
+  const double ratio = lowered.estimate_uniform(0.1).leakage /
+                       base.estimate_uniform(0.1).leakage;
+  // 100 mV at ~66 mV/dec: > 1 decade.
+  EXPECT_GT(ratio, 10.0);
+}
+
+TEST(PowerEstimator, ShortCircuitZeroBelowDualThreshold) {
+  Rig rig;
+  const auto tech = lv::tech::bulk_cmos_06um();  // VT = 0.7 V
+  p::OperatingPoint op;
+  op.vdd = 1.2;  // < VTn + VTp = 1.4
+  const p::PowerEstimator est{rig.nl, tech, op};
+  EXPECT_DOUBLE_EQ(est.estimate_uniform(0.2).short_circuit, 0.0);
+}
+
+TEST(PowerEstimator, ShortCircuitBoundedBy10Percent) {
+  Rig rig;
+  const p::PowerEstimator est{rig.nl, lv::tech::soi_low_vt(), {}};
+  const auto br = est.estimate_uniform(0.3);
+  EXPECT_LE(br.short_circuit, 0.10 * br.switching * 1.0001);
+}
+
+TEST(PowerEstimator, ByModuleSumsToWholeEstimate) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8, "addA");
+  c::build_barrel_shifter(nl, 8, "shiftB");
+  s::Simulator sim{nl};
+  // Drive both blocks with random stimulus.
+  c::Bus all_inputs;
+  for (const auto in : nl.primary_inputs()) all_inputs.push_back(in);
+  const auto vecs = s::random_vectors(500, 19, 9);  // 8+8 adder, 8+3 shifter
+  for (const auto v : vecs) {
+    sim.set_bus(all_inputs, v);
+    sim.settle();
+  }
+  const p::PowerEstimator est{nl, lv::tech::soi_low_vt(), {}};
+  const auto whole = est.estimate(sim.stats());
+  const auto split = est.by_module(sim.stats());
+  double sw = 0.0;
+  double leak = 0.0;
+  for (const auto& [mod, br] : split) {
+    sw += br.switching;
+    leak += br.leakage;
+  }
+  EXPECT_NEAR(sw, whole.switching, whole.switching * 1e-9);
+  EXPECT_NEAR(leak, whole.leakage, whole.leakage * 1e-9);
+  EXPECT_EQ(split.count("addA"), 1u);
+  EXPECT_EQ(split.count("shiftB"), 1u);
+}
+
+TEST(PowerEstimator, ClockPowerAppearsForSequential) {
+  c::Netlist nl;
+  c::build_register_bank(nl, c::CellKind::dff, 8);
+  const p::PowerEstimator est{nl, lv::tech::soi_low_vt(), {}};
+  EXPECT_GT(est.estimate_uniform(0.0).clock, 0.0);
+}
+
+TEST(RegisterSwitchedCap, RisesWithVddForAllStyles) {
+  // The Fig. 1 experiment's core property.
+  const auto tech = lv::tech::bulk_cmos_06um();
+  for (const auto style : {c::CellKind::dff_c2mos, c::CellKind::dff_tspc,
+                           c::CellKind::dff_lclr}) {
+    double prev = 0.0;
+    for (double vdd = 1.0; vdd <= 3.01; vdd += 0.25) {
+      const double cap = p::register_switched_cap(style, tech, vdd);
+      EXPECT_GT(cap, prev) << "style " << static_cast<int>(style);
+      prev = cap;
+    }
+  }
+}
+
+TEST(RegisterSwitchedCap, StyleOrderingMatchesFig1) {
+  const auto tech = lv::tech::bulk_cmos_06um();
+  const double c2mos =
+      p::register_switched_cap(c::CellKind::dff_c2mos, tech, 2.0);
+  const double tspc =
+      p::register_switched_cap(c::CellKind::dff_tspc, tech, 2.0);
+  const double lclr =
+      p::register_switched_cap(c::CellKind::dff_lclr, tech, 2.0);
+  EXPECT_GT(c2mos, tspc);
+  EXPECT_GT(tspc, lclr);
+}
+
+TEST(RegisterSwitchedCap, FemtofaradScale) {
+  const auto tech = lv::tech::bulk_cmos_06um();
+  const double cap =
+      p::register_switched_cap(c::CellKind::dff_c2mos, tech, 3.0);
+  EXPECT_GT(cap, 1.0 * u::femto);
+  EXPECT_LT(cap, 200.0 * u::femto);
+}
+
+TEST(PowerEstimator, SwitchedCapPerCycleTracksActivity) {
+  Rig rig;
+  const auto quiet = rig.run(50);
+  const p::PowerEstimator est{rig.nl, lv::tech::soi_low_vt(), {}};
+  // Same netlist, zero-activity stats -> only the (zero) clock cap.
+  s::Simulator idle_sim{rig.nl};
+  idle_sim.set_bus(rig.ports.a, 0);
+  idle_sim.set_bus(rig.ports.b, 0);
+  idle_sim.settle();
+  idle_sim.clear_stats();
+  idle_sim.settle();
+  EXPECT_LT(est.switched_cap_per_cycle(idle_sim.stats()),
+            est.switched_cap_per_cycle(quiet));
+}
+
+// Property sweep: total power is monotone in supply voltage across the
+// operating range (every component rises with V_DD).
+class PowerVsVdd : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerVsVdd, TotalMonotone) {
+  Rig rig;
+  const auto tech = lv::tech::soi_low_vt();
+  const double vdd = GetParam();
+  p::OperatingPoint op_lo;
+  op_lo.vdd = vdd;
+  p::OperatingPoint op_hi;
+  op_hi.vdd = vdd + 0.2;
+  const auto lo = p::PowerEstimator{rig.nl, tech, op_lo}.estimate_uniform(0.2);
+  const auto hi = p::PowerEstimator{rig.nl, tech, op_hi}.estimate_uniform(0.2);
+  EXPECT_GT(hi.total(), lo.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(VddSweep, PowerVsVdd,
+                         ::testing::Values(0.4, 0.6, 0.8, 1.0, 1.2, 1.4));

@@ -1,0 +1,164 @@
+#include "profile/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "workloads/idea.hpp"
+#include "workloads/kernels.hpp"
+
+namespace i = lv::isa;
+namespace p = lv::profile;
+namespace w = lv::workloads;
+using p::FunctionalUnit;
+
+namespace {
+
+p::ActivityProfiler profile_source(const std::string& source,
+                                   std::uint64_t gap_tolerance = 0) {
+  p::ActivityProfiler profiler{p::UnitMap::standard(), gap_tolerance};
+  const auto prog = i::assemble(source);
+  i::Machine m;
+  m.load(prog.words);
+  m.add_observer(&profiler);
+  m.run();
+  return profiler;
+}
+
+}  // namespace
+
+TEST(UnitMap, PaperMappingAssumptions) {
+  const auto map = p::UnitMap::standard();
+  // "All add, compare, load, and store instructions use the ALU adder."
+  for (const auto op : {i::Opcode::add, i::Opcode::addi, i::Opcode::slt,
+                        i::Opcode::lw, i::Opcode::sw}) {
+    const auto& units = map.units_for(op);
+    EXPECT_NE(std::find(units.begin(), units.end(), FunctionalUnit::alu_adder),
+              units.end());
+  }
+  EXPECT_EQ(map.units_for(i::Opcode::mul).front(), FunctionalUnit::multiplier);
+  EXPECT_EQ(map.units_for(i::Opcode::slli).front(), FunctionalUnit::shifter);
+  EXPECT_TRUE(map.units_for(i::Opcode::nop).empty());
+}
+
+TEST(Profiler, CountsAndRatesOnKnownSequence) {
+  // 4 adds in a row, 2 separated shifts, 10 instructions total.
+  const auto prof = profile_source(R"(
+    add  r1, r0, r0
+    add  r1, r0, r0
+    add  r1, r0, r0
+    add  r1, r0, r0
+    slli r2, r1, 1
+    nop
+    slli r2, r1, 1
+    nop
+    nop
+    halt
+  )");
+  EXPECT_EQ(prof.total_instructions(), 10u);
+  const auto adder = prof.profile(FunctionalUnit::alu_adder);
+  EXPECT_EQ(adder.uses, 4u);
+  EXPECT_EQ(adder.blocks, 1u);  // one contiguous run
+  EXPECT_DOUBLE_EQ(adder.fga, 0.4);
+  EXPECT_DOUBLE_EQ(adder.bga, 0.1);
+  const auto shifter = prof.profile(FunctionalUnit::shifter);
+  EXPECT_EQ(shifter.uses, 2u);
+  EXPECT_EQ(shifter.blocks, 2u);  // separated by a nop
+}
+
+TEST(Profiler, SequentialUsesGiveMinimalBga) {
+  // Paper: "if all the uses of a block were sequential, bga would be
+  // 1/total".
+  const auto prof = profile_source(R"(
+    mul r1, r0, r0
+    mul r1, r0, r0
+    mul r1, r0, r0
+    halt
+  )");
+  const auto mul = prof.profile(FunctionalUnit::multiplier);
+  EXPECT_EQ(mul.blocks, 1u);
+  EXPECT_DOUBLE_EQ(mul.bga,
+                   1.0 / static_cast<double>(prof.total_instructions()));
+}
+
+TEST(Profiler, GapToleranceMergesNearbyBlocks) {
+  const std::string source = R"(
+    mul r1, r0, r0
+    nop
+    mul r1, r0, r0
+    nop
+    nop
+    nop
+    mul r1, r0, r0
+    halt
+  )";
+  const auto strict = profile_source(source, 0);
+  EXPECT_EQ(strict.profile(FunctionalUnit::multiplier).blocks, 3u);
+  const auto tolerant1 = profile_source(source, 1);
+  EXPECT_EQ(tolerant1.profile(FunctionalUnit::multiplier).blocks, 2u);
+  const auto tolerant3 = profile_source(source, 3);
+  EXPECT_EQ(tolerant3.profile(FunctionalUnit::multiplier).blocks, 1u);
+}
+
+TEST(Profiler, BgaNeverExceedsFga) {
+  // Blocks <= uses by construction, for every workload.
+  for (const auto& workload :
+       {w::espresso_workload(24), w::li_workload(48), w::idea_workload(4)}) {
+    p::ActivityProfiler prof;
+    w::run_workload(workload, {&prof});
+    for (std::size_t u = 0; u < p::kUnitCount; ++u) {
+      const auto pr = prof.profile(static_cast<FunctionalUnit>(u));
+      EXPECT_LE(pr.bga, pr.fga + 1e-12) << workload.name << " unit " << u;
+      EXPECT_LE(pr.fga, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Profiler, IdeaIsMultiplierHeavy) {
+  // Table 3's signature: IDEA's multiplier fga dwarfs the SPEC kernels'.
+  p::ActivityProfiler idea;
+  w::run_workload(w::idea_workload(8), {&idea});
+  p::ActivityProfiler espresso;
+  w::run_workload(w::espresso_workload(48), {&espresso});
+  p::ActivityProfiler li;
+  w::run_workload(w::li_workload(96), {&li});
+
+  const double idea_mul = idea.profile(FunctionalUnit::multiplier).fga;
+  const double esp_mul = espresso.profile(FunctionalUnit::multiplier).fga;
+  const double li_mul = li.profile(FunctionalUnit::multiplier).fga;
+  EXPECT_GT(idea_mul, 5.0 * esp_mul + 1e-9);
+  EXPECT_GT(idea_mul, 5.0 * li_mul + 1e-9);
+}
+
+TEST(Profiler, EspressoIsShiftHeavy) {
+  p::ActivityProfiler espresso;
+  w::run_workload(w::espresso_workload(48), {&espresso});
+  p::ActivityProfiler li;
+  w::run_workload(w::li_workload(96), {&li});
+  EXPECT_GT(espresso.profile(FunctionalUnit::shifter).fga,
+            3.0 * li.profile(FunctionalUnit::shifter).fga);
+}
+
+TEST(Profiler, AdderDominatesEverywhere) {
+  // Address arithmetic + loop bookkeeping makes the ALU adder the busiest
+  // unit in all three table workloads (as in the paper's tables).
+  for (const auto& workload :
+       {w::espresso_workload(24), w::li_workload(48), w::idea_workload(4)}) {
+    p::ActivityProfiler prof;
+    w::run_workload(workload, {&prof});
+    const double adder = prof.profile(FunctionalUnit::alu_adder).fga;
+    EXPECT_GT(adder, prof.profile(FunctionalUnit::multiplier).fga)
+        << workload.name;
+    EXPECT_GT(adder, 0.2) << workload.name;
+  }
+}
+
+TEST(Profiler, ReportTableShape) {
+  p::ActivityProfiler prof;
+  w::run_workload(w::li_workload(16), {&prof});
+  const auto table = prof.report();
+  EXPECT_EQ(table.columns(), 4u);
+  EXPECT_EQ(table.rows(), 1u + p::kUnitCount);
+  const std::string ascii = table.to_ascii();
+  EXPECT_NE(ascii.find("alu_adder"), std::string::npos);
+  EXPECT_NE(ascii.find("fga"), std::string::npos);
+}

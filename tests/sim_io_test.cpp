@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "sim/activity_io.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stimulus.hpp"
+#include "sim/vcd.hpp"
+#include "util/error.hpp"
+
+namespace c = lv::circuit;
+namespace s = lv::sim;
+namespace u = lv::util;
+
+namespace {
+
+struct Rig {
+  c::Netlist nl;
+  c::AdderPorts ports;
+  s::Simulator sim;
+
+  Rig() : ports{c::build_ripple_carry_adder(nl, 4)}, sim{nl} {
+    sim.set_bus(ports.a, 0);
+    sim.set_bus(ports.b, 0);
+    sim.settle();
+    sim.clear_stats();
+  }
+};
+
+}  // namespace
+
+TEST(Vcd, HeaderDeclaresEveryNet) {
+  Rig rig;
+  s::VcdRecorder vcd{rig.sim};
+  vcd.sample();
+  const std::string out = vcd.render();
+  EXPECT_NE(out.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+  for (c::NetId n = 0; n < rig.nl.net_count(); ++n)
+    EXPECT_NE(out.find(" " + rig.nl.net(n).name + " $end"),
+              std::string::npos)
+        << rig.nl.net(n).name;
+}
+
+TEST(Vcd, OnlyChangesAfterFirstSample) {
+  Rig rig;
+  s::VcdRecorder vcd{rig.sim};
+  vcd.sample();
+  const std::size_t len_one = vcd.render().size();
+  // No input change: second sample adds only the timestamp (if anything).
+  vcd.sample();
+  const std::size_t len_two = vcd.render().size();
+  EXPECT_LT(len_two - len_one, 10u);
+  // A real change grows the dump.
+  rig.sim.set_bus(rig.ports.a, 0xf);
+  rig.sim.settle();
+  vcd.sample();
+  EXPECT_GT(vcd.render().size(), len_two + 5);
+  EXPECT_EQ(vcd.samples(), 3u);
+}
+
+TEST(Vcd, TimestampsAdvanceByStep) {
+  Rig rig;
+  s::VcdRecorder vcd{rig.sim, "10ps", 5};
+  vcd.sample();
+  rig.sim.set_bus(rig.ports.a, 1);
+  rig.sim.settle();
+  vcd.sample();
+  const std::string out = vcd.render();
+  EXPECT_NE(out.find("#0\n"), std::string::npos);
+  EXPECT_NE(out.find("#5\n"), std::string::npos);
+  EXPECT_NE(out.find("$timescale 10ps $end"), std::string::npos);
+}
+
+TEST(ActivityIo, RoundTripPreservesCounts) {
+  Rig rig;
+  s::run_two_operand_workload(rig.sim, rig.ports.a, rig.ports.b,
+                              s::random_vectors(500, 4, 1),
+                              s::random_vectors(500, 4, 2));
+  const auto& stats = rig.sim.stats();
+  const std::string text = s::to_activity_text(rig.nl, stats);
+  const auto back = s::parse_activity_text(rig.nl, text);
+  EXPECT_EQ(back.cycles(), stats.cycles());
+  for (c::NetId n = 0; n < rig.nl.net_count(); ++n) {
+    EXPECT_EQ(back.transitions(n), stats.transitions(n)) << n;
+    EXPECT_EQ(back.settled_changes(n), stats.settled_changes(n)) << n;
+    EXPECT_DOUBLE_EQ(back.alpha(n), stats.alpha(n)) << n;
+  }
+}
+
+TEST(ActivityIo, MissingHeaderRejected) {
+  Rig rig;
+  EXPECT_THROW(s::parse_activity_text(rig.nl, "cycles 5\n"), u::Error);
+}
+
+TEST(ActivityIo, UnknownNetRejected) {
+  Rig rig;
+  EXPECT_THROW(
+      s::parse_activity_text(rig.nl, "lvact 1\nnet bogus_net 1 1\n"),
+      u::Error);
+}
+
+TEST(ActivityIo, InconsistentCountsRejected) {
+  Rig rig;
+  const std::string name = rig.nl.net(rig.ports.sum[0]).name;
+  EXPECT_THROW(s::parse_activity_text(
+                   rig.nl, "lvact 1\nnet " + name + " 2 5\n"),
+               u::Error);
+}
+
+TEST(ActivityIo, AbsentNetsDefaultToZero) {
+  Rig rig;
+  const auto stats = s::parse_activity_text(rig.nl, "lvact 1\ncycles 10\n");
+  EXPECT_EQ(stats.cycles(), 10u);
+  EXPECT_EQ(stats.total_transitions(), 0u);
+}

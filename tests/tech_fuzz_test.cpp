@@ -1,0 +1,97 @@
+// Randomized tech-file round-trip fuzzing: perturb every numeric field of
+// a process within its physical range, serialize, re-parse, and require
+// exact recovery — plus derived-model consistency between the original
+// and the round-tripped process.
+#include <gtest/gtest.h>
+
+#include "tech/techfile.hpp"
+#include "timing/delay_model.hpp"
+#include "util/random.hpp"
+
+namespace t = lv::tech;
+
+namespace {
+
+double jitter(lv::util::Xoshiro256& rng, double value, double lo_mult,
+              double hi_mult) {
+  const double f = lo_mult + (hi_mult - lo_mult) * rng.next_double();
+  return value * f;
+}
+
+t::Process random_process(std::uint64_t seed) {
+  lv::util::Xoshiro256 rng{seed};
+  t::Process p = t::soi_low_vt();
+  p.name = "fuzz_" + std::to_string(seed);
+  auto perturb_mosfet = [&](lv::device::MosfetParams& m) {
+    m.vt0 = jitter(rng, m.vt0, 0.6, 1.8);
+    m.gamma = jitter(rng, m.gamma, 0.5, 2.0);
+    m.n_sub = 1.0 + jitter(rng, m.n_sub - 1.0, 0.5, 2.0);
+    m.i_at_vt = jitter(rng, m.i_at_vt, 0.3, 3.0);
+    m.alpha = std::min(2.0, std::max(1.0, jitter(rng, m.alpha, 0.8, 1.3)));
+    m.k_drive = jitter(rng, m.k_drive, 0.4, 2.5);
+    m.cox_area = jitter(rng, m.cox_area, 0.5, 2.0);
+    m.l_drawn = jitter(rng, m.l_drawn, 0.6, 1.6);
+    m.cj0_area = jitter(rng, m.cj0_area, 0.5, 2.0);
+    m.c_overlap_w = jitter(rng, m.c_overlap_w, 0.5, 2.0);
+  };
+  perturb_mosfet(p.nmos);
+  perturb_mosfet(p.pmos);
+  p.vdd_nominal = jitter(rng, p.vdd_nominal, 0.8, 1.5);
+  p.vdd_max = std::max(p.vdd_max, p.vdd_nominal * 1.2);
+  p.wire_cap_per_m = jitter(rng, p.wire_cap_per_m, 0.5, 2.0);
+  p.unit_nmos_width = jitter(rng, p.unit_nmos_width, 0.7, 1.5);
+  p.unit_pmos_width = jitter(rng, p.unit_pmos_width, 0.7, 1.5);
+  p.validate();
+  return p;
+}
+
+}  // namespace
+
+class TechFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TechFuzz, RoundTripIsExact) {
+  const auto original = random_process(GetParam());
+  const auto back = t::parse_techfile(t::to_techfile(original));
+  EXPECT_EQ(back.name, original.name);
+  EXPECT_DOUBLE_EQ(back.nmos.vt0, original.nmos.vt0);
+  EXPECT_DOUBLE_EQ(back.nmos.n_sub, original.nmos.n_sub);
+  EXPECT_DOUBLE_EQ(back.nmos.i_at_vt, original.nmos.i_at_vt);
+  EXPECT_DOUBLE_EQ(back.nmos.alpha, original.nmos.alpha);
+  EXPECT_DOUBLE_EQ(back.nmos.k_drive, original.nmos.k_drive);
+  EXPECT_DOUBLE_EQ(back.pmos.cox_area, original.pmos.cox_area);
+  EXPECT_DOUBLE_EQ(back.vdd_nominal, original.vdd_nominal);
+  EXPECT_DOUBLE_EQ(back.wire_cap_per_m, original.wire_cap_per_m);
+  EXPECT_DOUBLE_EQ(back.unit_pmos_width, original.unit_pmos_width);
+}
+
+TEST_P(TechFuzz, DerivedModelsAgreeAfterRoundTrip) {
+  const auto original = random_process(GetParam());
+  const auto back = t::parse_techfile(t::to_techfile(original));
+  // Same devices -> identical currents and delays.
+  const auto n0 = original.make_nmos();
+  const auto n1 = back.make_nmos();
+  for (const double vdd : {0.5, 1.0, 1.4}) {
+    EXPECT_DOUBLE_EQ(n0.on_current(vdd), n1.on_current(vdd)) << vdd;
+    EXPECT_DOUBLE_EQ(n0.off_current(vdd), n1.off_current(vdd)) << vdd;
+    const lv::timing::DelayModel d0{original, vdd};
+    const lv::timing::DelayModel d1{back, vdd};
+    EXPECT_DOUBLE_EQ(d0.inverter_fo1_delay(), d1.inverter_fo1_delay())
+        << vdd;
+  }
+}
+
+TEST_P(TechFuzz, PhysicalInvariantsHold) {
+  const auto p = random_process(GetParam());
+  const auto n = p.make_nmos();
+  // Off current below on current at nominal supply, always.
+  EXPECT_LT(n.off_current(p.vdd_nominal), n.on_current(p.vdd_nominal));
+  // Sub-threshold slope bounded below by the thermal limit.
+  EXPECT_GE(n.subthreshold_slope(), 0.0595);
+  // A decade of VT is a decade of leakage.
+  const auto shifted = n.with_vt_shift(n.subthreshold_slope());
+  EXPECT_NEAR(n.off_current(1.0) / shifted.off_current(1.0), 10.0, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TechFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u,
+                                           77u, 88u));

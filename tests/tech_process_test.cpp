@@ -1,0 +1,82 @@
+#include "tech/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace tech = lv::tech;
+namespace dev = lv::device;
+namespace u = lv::util;
+
+TEST(Process, PredefinedProcessesValidate) {
+  EXPECT_NO_THROW(tech::bulk_cmos_06um().validate());
+  EXPECT_NO_THROW(tech::soi_low_vt().validate());
+  EXPECT_NO_THROW(tech::soias().validate());
+  EXPECT_NO_THROW(tech::dual_vt_mtcmos().validate());
+  EXPECT_NO_THROW(tech::bulk_body_bias().validate());
+}
+
+TEST(Process, BulkIsHighVtHighVdd) {
+  const auto t = tech::bulk_cmos_06um();
+  EXPECT_NEAR(t.nmos.vt0, 0.70, 1e-9);
+  EXPECT_NEAR(t.vdd_nominal, 3.0, 1e-9);
+  EXPECT_EQ(t.vt_control, tech::VtControl::fixed);
+}
+
+TEST(Process, SoiLowVtMatchesFig6LowState) {
+  const auto t = tech::soi_low_vt();
+  EXPECT_NEAR(t.nmos.vt0, 0.184, 1e-9);
+  EXPECT_NEAR(t.vdd_nominal, 1.0, 1e-9);
+}
+
+TEST(Process, SoiasStandbyMatchesFig6HighState) {
+  const auto t = tech::soias();
+  EXPECT_NEAR(t.nmos.vt0, 0.448, 1e-9);
+  EXPECT_EQ(t.vt_control, tech::VtControl::soias_backgate);
+  EXPECT_NEAR(t.backgate_swing, 3.0, 1e-9);
+}
+
+TEST(Process, DualVtFlavorsSpanFig6States) {
+  const auto t = tech::dual_vt_mtcmos();
+  const auto lo = t.make_nmos();
+  const auto hi = t.make_high_vt_nmos();
+  EXPECT_NEAR(hi.threshold(0.0) - lo.threshold(0.0), 0.264, 1e-9);
+}
+
+TEST(Process, DeviceFactoriesScaleWidth) {
+  const auto t = tech::soi_low_vt();
+  EXPECT_NEAR(t.make_nmos(3.0).width(), 3.0 * t.unit_nmos_width, 1e-18);
+  EXPECT_NEAR(t.make_pmos(2.0).width(), 2.0 * t.unit_pmos_width, 1e-18);
+}
+
+TEST(Process, PmosWeakerThanNmos) {
+  const auto t = tech::soi_low_vt();
+  // Same W/L would be weaker; the 2x unit-width ratio roughly equalizes.
+  const double in = t.make_nmos().on_current(1.0) / t.unit_nmos_width;
+  const double ip = t.make_pmos().on_current(1.0) / t.unit_pmos_width;
+  EXPECT_GT(in, ip);
+}
+
+TEST(Process, SoiasFactoryRejectsWrongProcess) {
+  EXPECT_THROW(tech::soi_low_vt().make_soias_nmos(), u::Error);
+}
+
+TEST(Process, ValidationCatchesInconsistentSupplies) {
+  auto t = tech::soi_low_vt();
+  t.vdd_min = 2.0;  // > nominal
+  EXPECT_THROW(t.validate(), u::Error);
+}
+
+TEST(Process, ValidationCatchesSwappedPolarity) {
+  auto t = tech::soi_low_vt();
+  t.pmos.polarity = dev::Polarity::nmos;
+  EXPECT_THROW(t.validate(), u::Error);
+}
+
+TEST(Process, BodyBiasStandbyRaisesVt) {
+  const auto t = tech::bulk_body_bias();
+  const auto m = t.make_nmos();
+  const double active = m.threshold(0.0);
+  const double standby = m.threshold(t.standby_body_bias);
+  EXPECT_GT(standby, active + 0.1);
+}

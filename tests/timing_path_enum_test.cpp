@@ -1,0 +1,91 @@
+#include "timing/path_enum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "tech/process.hpp"
+
+namespace c = lv::circuit;
+namespace t = lv::timing;
+
+namespace {
+
+struct Rig {
+  c::Netlist nl;
+  t::StaResult sta;
+
+  explicit Rig(int width = 8) {
+    c::build_ripple_carry_adder(nl, width);
+    sta = t::Sta{nl, lv::tech::soi_low_vt(), 1.0}.run(1.0);
+  }
+};
+
+}  // namespace
+
+TEST(PathEnum, FirstPathIsTheCriticalPath) {
+  Rig rig;
+  const auto paths = t::enumerate_critical_paths(rig.nl, rig.sta, 5);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_NEAR(paths.front().arrival, rig.sta.critical_delay, 1e-15);
+  EXPECT_EQ(paths.front().instances, rig.sta.critical_path);
+}
+
+TEST(PathEnum, PathsSortedByArrival) {
+  Rig rig{16};
+  const auto paths = t::enumerate_critical_paths(rig.nl, rig.sta, 10);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_LE(paths[i].arrival, paths[i - 1].arrival + 1e-18);
+}
+
+TEST(PathEnum, PathsAreDistinctAndConnected) {
+  Rig rig{16};
+  const auto paths = t::enumerate_critical_paths(rig.nl, rig.sta, 8);
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    for (std::size_t q = p + 1; q < paths.size(); ++q)
+      EXPECT_NE(paths[p].instances, paths[q].instances);
+    for (std::size_t k = 1; k < paths[p].instances.size(); ++k) {
+      const auto& prev = rig.nl.instance(paths[p].instances[k - 1]);
+      const auto& next = rig.nl.instance(paths[p].instances[k]);
+      EXPECT_NE(std::find(next.inputs.begin(), next.inputs.end(),
+                          prev.output),
+                next.inputs.end());
+    }
+  }
+}
+
+TEST(PathEnum, RejectsSillyK) {
+  Rig rig;
+  EXPECT_THROW(t::enumerate_critical_paths(rig.nl, rig.sta, 0),
+               lv::util::Error);
+  EXPECT_THROW(t::enumerate_critical_paths(rig.nl, rig.sta, 1000),
+               lv::util::Error);
+}
+
+TEST(SlackHistogram, AllInstancesBinned) {
+  Rig rig;
+  const auto timed =
+      t::Sta{rig.nl, lv::tech::soi_low_vt(), 1.0}.run(
+          rig.sta.critical_delay * 1.2);
+  const auto hist = t::slack_histogram(timed, rig.sta.critical_delay * 1.2,
+                                       16);
+  EXPECT_EQ(hist.total(), rig.nl.instance_count());
+}
+
+TEST(ArrivalImbalance, RippleWorseThanKoggeStonePerGate) {
+  // The RCA's late carries make its input-arrival spread per gate much
+  // larger than the balanced prefix tree's — the structural source of the
+  // Fig. 8 glitches.
+  c::Netlist rc;
+  c::build_ripple_carry_adder(rc, 16);
+  c::Netlist ks;
+  c::build_kogge_stone_adder(ks, 16);
+  const auto tech = lv::tech::soi_low_vt();
+  const auto sta_rc = t::Sta{rc, tech, 1.0}.run(1.0);
+  const auto sta_ks = t::Sta{ks, tech, 1.0}.run(1.0);
+  const double per_gate_rc = t::total_arrival_imbalance(rc, sta_rc) /
+                             static_cast<double>(rc.instance_count());
+  const double per_gate_ks = t::total_arrival_imbalance(ks, sta_ks) /
+                             static_cast<double>(ks.instance_count());
+  EXPECT_GT(per_gate_rc, per_gate_ks);
+}

@@ -1,0 +1,168 @@
+#include "timing/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "tech/process.hpp"
+
+namespace c = lv::circuit;
+namespace t = lv::timing;
+
+namespace {
+const lv::tech::Process& soi() {
+  static const auto tech = lv::tech::soi_low_vt();
+  return tech;
+}
+}  // namespace
+
+TEST(DelayModel, FasterAtHigherVdd) {
+  const t::DelayModel slow{soi(), 0.5};
+  const t::DelayModel fast{soi(), 1.2};
+  EXPECT_GT(slow.inverter_fo1_delay(), fast.inverter_fo1_delay());
+}
+
+TEST(DelayModel, SlowerAtHigherVt) {
+  const t::DelayModel low{soi(), 0.8, 0.0};
+  const t::DelayModel high{soi(), 0.8, 0.2};
+  EXPECT_GT(high.inverter_fo1_delay(), low.inverter_fo1_delay());
+}
+
+TEST(DelayModel, FeasibilityBoundary) {
+  EXPECT_TRUE(t::DelayModel(soi(), 1.0, 0.0).feasible());
+  // vdd below VT + shift: no overdrive.
+  EXPECT_FALSE(t::DelayModel(soi(), 0.3, 0.2).feasible());
+}
+
+TEST(DelayModel, DelayLinearInLoad) {
+  const t::DelayModel dm{soi(), 1.0};
+  const double d1 = dm.delay_for_load(1e-15);
+  const double d2 = dm.delay_for_load(2e-15);
+  EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+}
+
+TEST(DelayModel, PicosecondScaleAtNominal) {
+  const t::DelayModel dm{soi(), 1.0};
+  const double d = dm.inverter_fo1_delay();
+  EXPECT_GT(d, 0.5e-12);
+  EXPECT_LT(d, 100e-12);
+}
+
+TEST(RingOscillator, PeriodComposition) {
+  const t::RingOscillator ring{101};
+  const double stage = ring.stage_delay(soi(), 1.0, 0.0);
+  EXPECT_NEAR(ring.period(soi(), 1.0, 0.0), 2.0 * 101 * stage, 1e-18);
+  EXPECT_NEAR(ring.frequency(soi(), 1.0, 0.0) * ring.period(soi(), 1.0, 0.0),
+              1.0, 1e-9);
+}
+
+TEST(RingOscillator, LeakageScalesWithStagesAndVt) {
+  const t::RingOscillator small{11};
+  const t::RingOscillator large{101};
+  EXPECT_GT(large.leakage_current(soi(), 1.0, 0.0),
+            small.leakage_current(soi(), 1.0, 0.0));
+  EXPECT_GT(large.leakage_current(soi(), 1.0, -0.1),
+            10.0 * large.leakage_current(soi(), 1.0, 0.0));
+}
+
+TEST(Sta, CriticalDelayGrowsWithAdderWidth) {
+  c::Netlist nl8;
+  c::build_ripple_carry_adder(nl8, 8);
+  c::Netlist nl16;
+  c::build_ripple_carry_adder(nl16, 16);
+  const auto r8 = t::Sta{nl8, soi(), 1.0}.run(1.0);
+  const auto r16 = t::Sta{nl16, soi(), 1.0}.run(1.0);
+  EXPECT_GT(r16.critical_delay, 1.5 * r8.critical_delay);
+  EXPECT_LT(r16.critical_delay, 2.5 * r8.critical_delay);
+}
+
+TEST(Sta, LookaheadBeatsRippleAt16Bits) {
+  c::Netlist rc;
+  c::build_ripple_carry_adder(rc, 16);
+  c::Netlist cla;
+  c::build_carry_lookahead_adder(cla, 16);
+  const auto r_rc = t::Sta{rc, soi(), 1.0}.run(1.0);
+  const auto r_cla = t::Sta{cla, soi(), 1.0}.run(1.0);
+  EXPECT_LT(r_cla.critical_delay, r_rc.critical_delay);
+}
+
+TEST(Sta, CriticalPathIsConnectedChain) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const auto r = t::Sta{nl, soi(), 1.0}.run(1.0);
+  ASSERT_GT(r.critical_path.size(), 8u);
+  for (std::size_t k = 1; k < r.critical_path.size(); ++k) {
+    const auto& prev = nl.instance(r.critical_path[k - 1]);
+    const auto& next = nl.instance(r.critical_path[k]);
+    const bool connected =
+        std::find(next.inputs.begin(), next.inputs.end(), prev.output) !=
+        next.inputs.end();
+    EXPECT_TRUE(connected) << "break at position " << k;
+  }
+}
+
+TEST(Sta, SlacksNonNegativeAtCriticalPeriod) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const t::Sta sta{nl, soi(), 1.0};
+  const auto base = sta.run(1.0);
+  const auto timed = sta.run(base.critical_delay * 1.000001);
+  for (std::size_t i = 0; i < nl.instance_count(); ++i)
+    EXPECT_GE(timed.instance_slack[i], -1e-15) << "instance " << i;
+}
+
+TEST(Sta, NegativeSlackUnderTightPeriod) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const t::Sta sta{nl, soi(), 1.0};
+  const auto base = sta.run(1.0);
+  const auto timed = sta.run(0.5 * base.critical_delay);
+  double min_slack = 1.0;
+  for (const double s : timed.instance_slack)
+    min_slack = std::min(min_slack, s);
+  EXPECT_NEAR(min_slack, -0.5 * base.critical_delay,
+              0.01 * base.critical_delay);
+}
+
+TEST(Sta, PerInstanceVtShiftSlowsOnlyShiftedGates) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 8);
+  const t::Sta sta{nl, soi(), 1.0};
+  const auto base = sta.run(1.0);
+  // Shift every gate: critical delay must grow.
+  std::vector<double> shifts(nl.instance_count(), 0.15);
+  const auto shifted = sta.run(1.0, shifts);
+  EXPECT_GT(shifted.critical_delay, base.critical_delay);
+  // Shift a single off-critical gate: no visible change.
+  std::vector<double> one(nl.instance_count(), 0.0);
+  // Find an instance not on the critical path.
+  std::vector<bool> on_path(nl.instance_count(), false);
+  for (const auto i : base.critical_path) on_path[i] = true;
+  for (std::size_t i = 0; i < nl.instance_count(); ++i) {
+    if (!on_path[i]) {
+      one[i] = 0.15;
+      break;
+    }
+  }
+  const auto single = sta.run(1.0, one);
+  EXPECT_NEAR(single.critical_delay, base.critical_delay,
+              0.05 * base.critical_delay);
+}
+
+// Iso-delay property across supplies: stage delay is strictly decreasing
+// in V_DD for every threshold in the sweep (the monotonicity the Fig. 3
+// bisection relies on).
+class StageDelayMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(StageDelayMonotone, DecreasingInVdd) {
+  const double vt_shift = GetParam();
+  const t::RingOscillator ring{51};
+  double prev = 1e9;
+  for (double vdd = 0.4; vdd <= 1.8; vdd += 0.1) {
+    const double d = ring.stage_delay(soi(), vdd, vt_shift);
+    EXPECT_LT(d, prev) << "vdd " << vdd;
+    prev = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShiftSweep, StageDelayMonotone,
+                         ::testing::Values(-0.05, 0.0, 0.1, 0.2, 0.3));

@@ -1,0 +1,62 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace u = lv::util;
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  u::Xoshiro256 a{42};
+  u::Xoshiro256 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  u::Xoshiro256 a{1};
+  u::Xoshiro256 b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  u::Xoshiro256 rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanNearHalf) {
+  u::Xoshiro256 rng{11};
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  u::Xoshiro256 rng{3};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues reached
+}
+
+TEST(Xoshiro256, NextBelowZeroBound) {
+  u::Xoshiro256 rng{3};
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, BernoulliTracksProbability) {
+  u::Xoshiro256 rng{17};
+  int hits = 0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.2);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}

@@ -1,0 +1,93 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace u = lv::util;
+
+TEST(RunningStats, EmptyIsZero) {
+  u::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  u::RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  u::RunningStats a;
+  u::RunningStats b;
+  u::RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i - 1.7;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  u::RunningStats a;
+  a.add(3.0);
+  u::RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  u::Histogram h{0.0, 1.0, 10};
+  EXPECT_EQ(h.bins(), 10u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(5), 0.55);
+}
+
+TEST(Histogram, CountsSamplesIntoCorrectBins) {
+  u::Histogram h{0.0, 1.0, 4};
+  h.add(0.1);   // bin 0
+  h.add(0.30);  // bin 1
+  h.add(0.55);  // bin 2
+  h.add(0.9);   // bin 3
+  h.add(0.95);  // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.4);
+}
+
+TEST(Histogram, ClampsOutOfRangeSamples) {
+  u::Histogram h{0.0, 1.0, 2};
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(1.0);  // exactly hi -> clamped into last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, RejectsDegenerateRange) {
+  EXPECT_THROW((u::Histogram{1.0, 1.0, 4}), u::Error);
+  EXPECT_THROW((u::Histogram{0.0, 1.0, 0}), u::Error);
+}

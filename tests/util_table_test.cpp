@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+#include "util/statistics.hpp"
+
+namespace u = lv::util;
+
+TEST(Table, RowWidthEnforced) {
+  u::Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({std::string{"only one"}}), u::Error);
+  t.add_row({std::string{"x"}, 1.5});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, AsciiContainsHeadersAndValues) {
+  u::Table t{{"name", "value"}};
+  t.add_row({std::string{"vdd"}, 1.25});
+  t.add_row({std::string{"count"}, static_cast<long long>(42)});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  u::Table t{{"label", "v"}};
+  t.add_row({std::string{"a,b"}, 1.0});
+  t.add_row({std::string{"say \"hi\""}, 2.0});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, DoubleFormatApplies) {
+  u::Table t{{"v"}};
+  t.set_double_format("%.2f");
+  t.add_row({0.123456});
+  EXPECT_NE(t.to_csv().find("0.12"), std::string::npos);
+}
+
+TEST(AsciiPlot, XYRendersAllSeriesGlyphsAndLegend) {
+  u::Series s1{"alpha", {0, 1, 2}, {0, 1, 4}};
+  u::Series s2{"beta", {0, 1, 2}, {4, 1, 0}};
+  u::PlotOptions opt;
+  opt.title = "demo";
+  const std::string out = u::render_xy({s1, s2}, opt);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("o = alpha"), std::string::npos);
+  EXPECT_NE(out.find("* = beta"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxisSkipsNonPositive) {
+  u::Series s{"s", {1e-3, 1e-2, 0.0}, {1.0, 10.0, -1.0}};
+  u::PlotOptions opt;
+  opt.log_x = true;
+  opt.log_y = true;
+  EXPECT_NO_THROW(u::render_xy({s}, opt));
+}
+
+TEST(AsciiPlot, HistogramShowsCountsAndTotal) {
+  u::Histogram h{0.0, 1.0, 2};
+  h.add(0.2);
+  h.add(0.7);
+  h.add(0.8);
+  const std::string out = u::render_histogram(h, "hist");
+  EXPECT_NE(out.find("hist"), std::string::npos);
+  EXPECT_NE(out.find("total samples: 3"), std::string::npos);
+}
+
+TEST(AsciiPlot, HeatmapMarksZeroCrossing) {
+  const std::vector<std::vector<double>> m{{-1.0, -0.5, 0.5, 1.0},
+                                           {-2.0, -1.0, 1.0, 2.0}};
+  const std::string out = u::render_heatmap(m, "z", true);
+  EXPECT_NE(out.find('0'), std::string::npos);
+}
+
+TEST(AsciiPlot, HeatmapRejectsEmpty) {
+  EXPECT_THROW(u::render_heatmap({}, "", false), u::Error);
+}

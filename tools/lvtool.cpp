@@ -1,0 +1,508 @@
+// lvtool — command-line front end to the lvsim libraries.
+//
+//   lvtool gen <rca|cla|csel|ks|mul|shifter|alu> <width> -o <file>
+//   lvtool stats <netlist>
+//   lvtool simulate <netlist> [--vectors N] [--seed S]
+//                   [--activity-out <file>] [--vcd-out <file>]
+//   lvtool power <netlist> <tech> [--vdd V] [--fclk HZ]
+//                (--alpha A | --activity <file>)
+//   lvtool timing <netlist> <tech> [--vdd V]
+//   lvtool dualvt <netlist> <tech> [--vdd V] [--margin M]
+//   lvtool optimize-vt <tech> [--fclk HZ] [--activity A]
+//   lvtool profile <espresso|li|idea|fir|crc32|sort> [--gap N] [--blocks N]
+//   lvtool techfile <tech>            # dump a predefined process
+//
+// <tech> is a predefined process name (bulk_cmos_06um, soi_low_vt, soias,
+// dual_vt_mtcmos, bulk_body_bias) or a path to a tech file.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "circuit/netlist_io.hpp"
+#include "circuit/transforms.hpp"
+#include "opt/dual_vt.hpp"
+#include "opt/gate_sizing.hpp"
+#include "opt/voltage_opt.hpp"
+#include "power/estimator.hpp"
+#include "power/glitch.hpp"
+#include "profile/profiler.hpp"
+#include "sim/activity_io.hpp"
+#include "sim/fault.hpp"
+#include "sim/stimulus.hpp"
+#include "sim/vcd.hpp"
+#include "tech/techfile.hpp"
+#include "timing/path_enum.hpp"
+#include "timing/sta.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "workloads/idea.hpp"
+#include "workloads/kernels.hpp"
+
+namespace {
+
+namespace c = lv::circuit;
+namespace u = lv::util;
+
+// ---- option plumbing --------------------------------------------------
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // "--key value"
+
+  double number(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::optional<std::string> text(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0 || token == "-o") {
+      u::require(i + 1 < argc, "option '" + token + "' needs a value");
+      args.options[token == "-o" ? "--out" : token] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  u::require(static_cast<bool>(in), "cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  u::require(static_cast<bool>(out), "cannot write '" + path + "'");
+  out << content;
+}
+
+lv::tech::Process load_tech(const std::string& name) {
+  if (name == "bulk_cmos_06um") return lv::tech::bulk_cmos_06um();
+  if (name == "soi_low_vt") return lv::tech::soi_low_vt();
+  if (name == "soias") return lv::tech::soias();
+  if (name == "dual_vt_mtcmos") return lv::tech::dual_vt_mtcmos();
+  if (name == "bulk_body_bias") return lv::tech::bulk_body_bias();
+  return lv::tech::parse_techfile(read_file(name));
+}
+
+c::Netlist load_netlist(const std::string& path) {
+  return c::parse_netlist_text(read_file(path));
+}
+
+// Random stimulus over all primary inputs; returns the simulator with
+// accumulated statistics.
+lv::sim::Simulator simulate_random(const c::Netlist& nl, std::size_t vectors,
+                                   std::uint64_t seed,
+                                   lv::sim::VcdRecorder* vcd = nullptr) {
+  lv::sim::Simulator sim{nl};
+  const c::Bus inputs = nl.primary_inputs();
+  u::require(!inputs.empty(), "netlist has no primary inputs");
+  u::require(inputs.size() <= 64, "more than 64 primary inputs");
+  sim.set_bus(inputs, 0);
+  if (!nl.sequential_instances().empty())
+    sim.reset_flops(c::Logic::zero);
+  sim.settle();
+  sim.clear_stats();
+  const auto vecs = lv::sim::random_vectors(
+      vectors, static_cast<int>(inputs.size()), seed);
+  const bool clocked = !nl.sequential_instances().empty();
+  for (const auto v : vecs) {
+    sim.set_bus(inputs, v);
+    if (clocked)
+      sim.clock_cycle();
+    else
+      sim.settle();
+    if (vcd != nullptr) vcd->sample();
+  }
+  return sim;
+}
+
+// ---- subcommands ------------------------------------------------------
+
+int cmd_gen(const Args& args) {
+  u::require(args.positional.size() == 2, "gen needs <kind> <width>");
+  const std::string kind = args.positional[0];
+  const int width = std::atoi(args.positional[1].c_str());
+  c::Netlist nl;
+  if (kind == "rca") c::build_ripple_carry_adder(nl, width);
+  else if (kind == "cla") c::build_carry_lookahead_adder(nl, width);
+  else if (kind == "csel") c::build_carry_select_adder(nl, width);
+  else if (kind == "ks") c::build_kogge_stone_adder(nl, width);
+  else if (kind == "mul") c::build_array_multiplier(nl, width);
+  else if (kind == "shifter") c::build_barrel_shifter(nl, width);
+  else if (kind == "alu") c::build_alu(nl, width);
+  else if (kind == "cskip") c::build_carry_skip_adder(nl, width);
+  else if (kind == "wmul") c::build_wallace_multiplier(nl, width);
+  else throw u::Error("unknown generator '" + kind + "'");
+  const std::string text = c::to_netlist_text(nl);
+  if (const auto out = args.text("--out")) {
+    write_file(*out, text);
+    std::printf("wrote %zu gates to %s\n", nl.instance_count(),
+                out->c_str());
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  u::require(args.positional.size() == 1, "stats needs <netlist>");
+  const auto nl = load_netlist(args.positional[0]);
+  std::printf("gates: %zu   nets: %zu   inputs: %zu   outputs: %zu   "
+              "flops: %zu\n",
+              nl.instance_count(), nl.net_count(),
+              nl.primary_inputs().size(), nl.primary_outputs().size(),
+              nl.sequential_instances().size());
+  int depth = 0;
+  for (const int l : nl.levelize()) depth = std::max(depth, l);
+  std::printf("logic depth: %d levels\n", depth);
+  u::Table table{{"cell", "count"}};
+  for (const auto& [kind, count] : nl.kind_histogram())
+    table.add_row({kind, static_cast<long long>(count)});
+  std::printf("%s", table.to_ascii().c_str());
+  const auto modules = nl.modules();
+  if (!modules.empty()) {
+    std::printf("modules:");
+    for (const auto& m : modules) std::printf(" %s", m.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  u::require(args.positional.size() == 1, "simulate needs <netlist>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto vectors = static_cast<std::size_t>(
+      args.number("--vectors", 1000));
+  const auto seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+
+  lv::sim::Simulator sim = simulate_random(nl, vectors, seed);
+  std::printf("simulated %llu cycles; total transitions %llu; mean alpha "
+              "%.4f\n",
+              static_cast<unsigned long long>(sim.stats().cycles()),
+              static_cast<unsigned long long>(
+                  sim.stats().total_transitions()),
+              lv::sim::mean_alpha(sim));
+  if (const auto out = args.text("--activity-out")) {
+    write_file(*out, lv::sim::to_activity_text(nl, sim.stats()));
+    std::printf("activity written to %s\n", out->c_str());
+  }
+  if (const auto out = args.text("--vcd-out")) {
+    // Re-run (capped at 256 vectors) with a recorder sampling each cycle.
+    lv::sim::Simulator rerun{nl};
+    lv::sim::VcdRecorder rec{rerun};
+    const c::Bus inputs = nl.primary_inputs();
+    rerun.set_bus(inputs, 0);
+    if (!nl.sequential_instances().empty())
+      rerun.reset_flops(c::Logic::zero);
+    rerun.settle();
+    for (const auto v : lv::sim::random_vectors(
+             std::min<std::size_t>(vectors, 256),
+             static_cast<int>(inputs.size()), seed)) {
+      rerun.set_bus(inputs, v);
+      if (!nl.sequential_instances().empty())
+        rerun.clock_cycle();
+      else
+        rerun.settle();
+      rec.sample();
+    }
+    write_file(*out, rec.render());
+    std::printf("vcd written to %s (%llu samples)\n", out->c_str(),
+                static_cast<unsigned long long>(rec.samples()));
+  }
+  return 0;
+}
+
+int cmd_power(const Args& args) {
+  u::require(args.positional.size() == 2, "power needs <netlist> <tech>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto tech = load_tech(args.positional[1]);
+  lv::power::OperatingPoint op;
+  op.vdd = args.number("--vdd", tech.vdd_nominal);
+  op.f_clk = args.number("--fclk", 50e6);
+  const lv::power::PowerEstimator est{nl, tech, op};
+
+  lv::power::PowerBreakdown br;
+  if (const auto file = args.text("--activity")) {
+    const auto stats = lv::sim::parse_activity_text(nl, read_file(*file));
+    br = est.estimate(stats);
+  } else {
+    br = est.estimate_uniform(args.number("--alpha", 0.25));
+  }
+  u::Table table{{"component", "power_W"}};
+  table.set_double_format("%.4g");
+  table.add_row({std::string{"switching"}, br.switching});
+  table.add_row({std::string{"short_circuit"}, br.short_circuit});
+  table.add_row({std::string{"leakage"}, br.leakage});
+  table.add_row({std::string{"clock"}, br.clock});
+  table.add_row({std::string{"total"}, br.total()});
+  std::printf("%s", table.to_ascii().c_str());
+  std::printf("energy/cycle: %.4g J at %.3g Hz\n",
+              br.energy_per_cycle(op.f_clk), op.f_clk);
+  return 0;
+}
+
+int cmd_timing(const Args& args) {
+  u::require(args.positional.size() == 2, "timing needs <netlist> <tech>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto tech = load_tech(args.positional[1]);
+  const double vdd = args.number("--vdd", tech.vdd_nominal);
+  const lv::timing::Sta sta{nl, tech, vdd};
+  const auto r = sta.run(1.0);
+  std::printf("critical delay: %.4g s (max clock %.4g Hz) at VDD = %.2f V\n",
+              r.critical_delay, 1.0 / r.critical_delay, vdd);
+  std::printf("critical path (%zu gates):", r.critical_path.size());
+  for (const auto i : r.critical_path)
+    std::printf(" %s", nl.instance(i).name.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_dualvt(const Args& args) {
+  u::require(args.positional.size() == 2, "dualvt needs <netlist> <tech>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto tech = load_tech(args.positional[1]);
+  const double vdd = args.number("--vdd", tech.vdd_nominal);
+  const double margin = args.number("--margin", 0.05);
+  const auto r = lv::opt::assign_dual_vt(nl, tech, vdd, margin);
+  std::printf("%zu of %zu gates moved to high VT\n", r.high_vt_count,
+              nl.instance_count());
+  std::printf("delay:   %.4g s -> %.4g s (period budget %.4g s)\n",
+              r.delay_before, r.delay_after, r.clock_period);
+  std::printf("leakage: %.4g A -> %.4g A (%.1fx reduction)\n",
+              r.leakage_before, r.leakage_after,
+              r.leakage_before / r.leakage_after);
+  return 0;
+}
+
+int cmd_optimize_vt(const Args& args) {
+  u::require(args.positional.size() == 1, "optimize-vt needs <tech>");
+  const auto tech = load_tech(args.positional[0]);
+  const double f_clk = args.number("--fclk", 5e6);
+  const double activity = args.number("--activity", 1.0);
+  const lv::timing::RingOscillator ring{101};
+  const auto r =
+      lv::opt::optimize_vt(tech, ring, f_clk, activity, 0.05, 0.55, 26);
+  if (!r.optimum.feasible) {
+    std::printf("no feasible (VT, VDD) for %.3g Hz in range\n", f_clk);
+    return 1;
+  }
+  std::printf("optimum at %.3g Hz, activity %.2f: VT = %.3f V, "
+              "VDD = %.3f V, E = %.4g J/cycle (switching %.4g, leakage "
+              "%.4g)\n",
+              f_clk, activity, r.optimum.vt, r.optimum.vdd,
+              r.optimum.total_energy, r.optimum.switching_energy,
+              r.optimum.leakage_energy);
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  u::require(args.positional.size() == 1, "profile needs <workload>");
+  const std::string name = args.positional[0];
+  const auto gap = static_cast<std::uint64_t>(args.number("--gap", 0));
+  const int blocks = static_cast<int>(args.number("--blocks", 16));
+  lv::workloads::Workload workload;
+  if (name == "espresso") workload = lv::workloads::espresso_workload();
+  else if (name == "li") workload = lv::workloads::li_workload();
+  else if (name == "idea") workload = lv::workloads::idea_workload(blocks);
+  else if (name == "fir") workload = lv::workloads::fir_workload();
+  else if (name == "crc32") workload = lv::workloads::crc32_workload();
+  else if (name == "sort") workload = lv::workloads::sort_workload();
+  else if (name == "matmul") workload = lv::workloads::matmul_workload();
+  else if (name == "strsearch") workload = lv::workloads::strsearch_workload();
+  else throw u::Error("unknown workload '" + name + "'");
+
+  lv::profile::ActivityProfiler profiler{lv::profile::UnitMap::standard(),
+                                         gap};
+  const auto result = lv::workloads::run_workload(workload, {&profiler});
+  std::printf("workload %s: %llu instructions, output %s\n",
+              workload.name.c_str(),
+              static_cast<unsigned long long>(result.instructions),
+              result.verified ? "verified" : "MISMATCH");
+  std::printf("%s", profiler.report().to_ascii().c_str());
+  return 0;
+}
+
+int cmd_techfile(const Args& args) {
+  u::require(args.positional.size() == 1, "techfile needs <tech>");
+  std::fputs(lv::tech::to_techfile(load_tech(args.positional[0])).c_str(),
+             stdout);
+  return 0;
+}
+
+int cmd_glitch(const Args& args) {
+  u::require(args.positional.size() == 2, "glitch needs <netlist> <tech>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto tech = load_tech(args.positional[1]);
+  const auto vectors =
+      static_cast<std::size_t>(args.number("--vectors", 2000));
+  const auto sim = simulate_random(
+      nl, vectors, static_cast<std::uint64_t>(args.number("--seed", 1)));
+  lv::power::OperatingPoint op;
+  op.vdd = args.number("--vdd", tech.vdd_nominal);
+  const auto report =
+      lv::power::analyze_glitch_power(nl, tech, op, sim.stats());
+  std::printf("functional power: %.4g W\n", report.functional_power);
+  std::printf("glitch power:     %.4g W (%.1f%% of switching)\n",
+              report.glitch_power, report.glitch_fraction * 100.0);
+  std::printf("worst net: %s (%.1f%% of all glitching)\n",
+              report.worst_net.c_str(), report.worst_net_share * 100.0);
+  for (const auto& [mod, frac] : report.module_glitch_fraction)
+    std::printf("  module '%s': %.1f%% glitch\n",
+                mod.empty() ? "<top>" : mod.c_str(), frac * 100.0);
+  return 0;
+}
+
+int cmd_faults(const Args& args) {
+  u::require(args.positional.size() == 1, "faults needs <netlist>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto vectors =
+      static_cast<std::size_t>(args.number("--vectors", 256));
+  const auto vecs = lv::sim::random_vectors(
+      vectors, static_cast<int>(nl.primary_inputs().size()),
+      static_cast<std::uint64_t>(args.number("--seed", 1)));
+  const auto result = lv::sim::fault_coverage(nl, vecs);
+  std::printf("stuck-at faults: %zu; detected %zu; coverage %.2f%%\n",
+              result.total_faults, result.detected,
+              result.coverage * 100.0);
+  std::size_t shown = 0;
+  for (const auto& f : result.undetected) {
+    if (shown++ >= 10) {
+      std::printf("  ... %zu more\n", result.undetected.size() - 10);
+      break;
+    }
+    std::printf("  undetected: %s stuck-at-%c\n",
+                nl.net(f.net).name.c_str(),
+                lv::circuit::to_char(f.stuck_at));
+  }
+  return 0;
+}
+
+int cmd_paths(const Args& args) {
+  u::require(args.positional.size() == 2, "paths needs <netlist> <tech>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto tech = load_tech(args.positional[1]);
+  const double vdd = args.number("--vdd", tech.vdd_nominal);
+  const int k = static_cast<int>(args.number("--k", 5));
+  const auto sta = lv::timing::Sta{nl, tech, vdd}.run(1.0);
+  const auto paths = lv::timing::enumerate_critical_paths(nl, sta, k);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::printf("#%zu  %.4g s  (%zu gates):", i + 1, paths[i].arrival,
+                paths[i].instances.size());
+    for (const auto inst : paths[i].instances)
+      std::printf(" %s", nl.instance(inst).name.c_str());
+    std::printf("\n");
+  }
+  std::printf("arrival imbalance (glitch proxy): %.4g s total\n",
+              lv::timing::total_arrival_imbalance(nl, sta));
+  return 0;
+}
+
+int cmd_sizing(const Args& args) {
+  u::require(args.positional.size() == 2, "sizing needs <netlist> <tech>");
+  const auto nl = load_netlist(args.positional[0]);
+  const auto tech = load_tech(args.positional[1]);
+  const auto r = lv::opt::downsize_gates(
+      nl, tech, args.number("--vdd", tech.vdd_nominal),
+      args.number("--margin", 0.05), args.number("--min-size", 0.5));
+  std::printf("%zu of %zu gates downsized\n", r.downsized,
+              nl.instance_count());
+  std::printf("cap:     %.4g F -> %.4g F (-%.1f%%)\n", r.cap_before,
+              r.cap_after, 100.0 * (1.0 - r.cap_after / r.cap_before));
+  std::printf("leakage: %.4g A -> %.4g A (-%.1f%%)\n", r.leakage_before,
+              r.leakage_after,
+              100.0 * (1.0 - r.leakage_after / r.leakage_before));
+  std::printf("delay:   %.4g s -> %.4g s (budget %.4g s)\n",
+              r.delay_before, r.delay_after, r.clock_period);
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  u::require(args.positional.size() == 1, "optimize needs <netlist>");
+  const auto nl = load_netlist(args.positional[0]);
+  c::TransformStats stats;
+  const auto opt = c::optimize_netlist(nl, &stats);
+  std::printf("%zu -> %zu gates (%zu constants folded, %zu dead removed)\n",
+              stats.gates_before, stats.gates_after, stats.constants_folded,
+              stats.dead_removed);
+  if (const auto out = args.text("--out"))
+    write_file(*out, c::to_netlist_text(opt));
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "lvtool — low-voltage design toolkit CLI\n"
+      "  gen <rca|cla|csel|ks|mul|shifter|alu> <width> [-o file]\n"
+      "  stats <netlist>\n"
+      "  simulate <netlist> [--vectors N] [--seed S]\n"
+      "           [--activity-out f] [--vcd-out f]\n"
+      "  power <netlist> <tech> [--vdd V] [--fclk HZ]\n"
+      "        (--alpha A | --activity f)\n"
+      "  timing <netlist> <tech> [--vdd V]\n"
+      "  dualvt <netlist> <tech> [--vdd V] [--margin M]\n"
+      "  optimize-vt <tech> [--fclk HZ] [--activity A]\n"
+      "  profile <espresso|li|idea|fir|crc32|sort|matmul|strsearch>\n"
+      "          [--gap N] [--blocks N]\n"
+      "  techfile <tech>\n"
+      "  glitch <netlist> <tech> [--vectors N] [--vdd V]\n"
+      "  faults <netlist> [--vectors N]\n"
+      "  paths <netlist> <tech> [--k N] [--vdd V]\n"
+      "  sizing <netlist> <tech> [--margin M] [--min-size S]\n"
+      "  optimize <netlist> [-o file]\n"
+      "tech = predefined name (soi_low_vt, soias, dual_vt_mtcmos,\n"
+      "bulk_cmos_06um, bulk_body_bias) or a tech-file path.\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "help" ||
+      std::string(argv[1]) == "--help") {
+    usage();
+    return argc < 2 ? 1 : 0;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "power") return cmd_power(args);
+    if (cmd == "timing") return cmd_timing(args);
+    if (cmd == "dualvt") return cmd_dualvt(args);
+    if (cmd == "optimize-vt") return cmd_optimize_vt(args);
+    if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "techfile") return cmd_techfile(args);
+    if (cmd == "glitch") return cmd_glitch(args);
+    if (cmd == "faults") return cmd_faults(args);
+    if (cmd == "paths") return cmd_paths(args);
+    if (cmd == "sizing") return cmd_sizing(args);
+    if (cmd == "optimize") return cmd_optimize(args);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lvtool %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
