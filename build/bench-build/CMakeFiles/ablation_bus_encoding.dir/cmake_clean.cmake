@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bus_encoding"
+  "../bench/ablation_bus_encoding.pdb"
+  "CMakeFiles/ablation_bus_encoding.dir/ablation_bus_encoding.cpp.o"
+  "CMakeFiles/ablation_bus_encoding.dir/ablation_bus_encoding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bus_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dualvt"
+  "../bench/ablation_dualvt.pdb"
+  "CMakeFiles/ablation_dualvt.dir/ablation_dualvt.cpp.o"
+  "CMakeFiles/ablation_dualvt.dir/ablation_dualvt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dualvt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

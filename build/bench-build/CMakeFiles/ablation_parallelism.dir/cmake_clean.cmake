@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_parallelism"
+  "../bench/ablation_parallelism.pdb"
+  "CMakeFiles/ablation_parallelism.dir/ablation_parallelism.cpp.o"
+  "CMakeFiles/ablation_parallelism.dir/ablation_parallelism.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_shutdown_policies"
+  "../bench/ablation_shutdown_policies.pdb"
+  "CMakeFiles/ablation_shutdown_policies.dir/ablation_shutdown_policies.cpp.o"
+  "CMakeFiles/ablation_shutdown_policies.dir/ablation_shutdown_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shutdown_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sizing_stack"
+  "../bench/ablation_sizing_stack.pdb"
+  "CMakeFiles/ablation_sizing_stack.dir/ablation_sizing_stack.cpp.o"
+  "CMakeFiles/ablation_sizing_stack.dir/ablation_sizing_stack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sizing_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

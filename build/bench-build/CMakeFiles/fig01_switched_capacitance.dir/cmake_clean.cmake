@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_switched_capacitance"
+  "../bench/fig01_switched_capacitance.pdb"
+  "CMakeFiles/fig01_switched_capacitance.dir/fig01_switched_capacitance.cpp.o"
+  "CMakeFiles/fig01_switched_capacitance.dir/fig01_switched_capacitance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_switched_capacitance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

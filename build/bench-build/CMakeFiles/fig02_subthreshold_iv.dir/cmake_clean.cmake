@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_subthreshold_iv"
+  "../bench/fig02_subthreshold_iv.pdb"
+  "CMakeFiles/fig02_subthreshold_iv.dir/fig02_subthreshold_iv.cpp.o"
+  "CMakeFiles/fig02_subthreshold_iv.dir/fig02_subthreshold_iv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_subthreshold_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

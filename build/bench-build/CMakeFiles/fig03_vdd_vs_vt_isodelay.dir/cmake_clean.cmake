@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_vdd_vs_vt_isodelay"
+  "../bench/fig03_vdd_vs_vt_isodelay.pdb"
+  "CMakeFiles/fig03_vdd_vs_vt_isodelay.dir/fig03_vdd_vs_vt_isodelay.cpp.o"
+  "CMakeFiles/fig03_vdd_vs_vt_isodelay.dir/fig03_vdd_vs_vt_isodelay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_vdd_vs_vt_isodelay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_vdd_vs_vt_isodelay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_energy_vs_vt_optimum"
+  "../bench/fig04_energy_vs_vt_optimum.pdb"
+  "CMakeFiles/fig04_energy_vs_vt_optimum.dir/fig04_energy_vs_vt_optimum.cpp.o"
+  "CMakeFiles/fig04_energy_vs_vt_optimum.dir/fig04_energy_vs_vt_optimum.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_energy_vs_vt_optimum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

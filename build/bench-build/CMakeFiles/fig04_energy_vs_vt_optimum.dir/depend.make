@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_energy_vs_vt_optimum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_soias_iv_backgate"
+  "../bench/fig06_soias_iv_backgate.pdb"
+  "CMakeFiles/fig06_soias_iv_backgate.dir/fig06_soias_iv_backgate.cpp.o"
+  "CMakeFiles/fig06_soias_iv_backgate.dir/fig06_soias_iv_backgate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_soias_iv_backgate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

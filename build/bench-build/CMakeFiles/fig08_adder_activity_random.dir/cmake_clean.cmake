@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_adder_activity_random"
+  "../bench/fig08_adder_activity_random.pdb"
+  "CMakeFiles/fig08_adder_activity_random.dir/fig08_adder_activity_random.cpp.o"
+  "CMakeFiles/fig08_adder_activity_random.dir/fig08_adder_activity_random.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_adder_activity_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

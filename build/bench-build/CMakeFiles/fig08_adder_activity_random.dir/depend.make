@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_adder_activity_random.
+# This may be replaced when dependencies are built.

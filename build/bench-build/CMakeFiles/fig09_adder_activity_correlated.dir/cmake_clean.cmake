@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_adder_activity_correlated"
+  "../bench/fig09_adder_activity_correlated.pdb"
+  "CMakeFiles/fig09_adder_activity_correlated.dir/fig09_adder_activity_correlated.cpp.o"
+  "CMakeFiles/fig09_adder_activity_correlated.dir/fig09_adder_activity_correlated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_adder_activity_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

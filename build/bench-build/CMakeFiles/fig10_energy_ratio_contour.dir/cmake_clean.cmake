@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_energy_ratio_contour"
+  "../bench/fig10_energy_ratio_contour.pdb"
+  "CMakeFiles/fig10_energy_ratio_contour.dir/fig10_energy_ratio_contour.cpp.o"
+  "CMakeFiles/fig10_energy_ratio_contour.dir/fig10_energy_ratio_contour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy_ratio_contour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

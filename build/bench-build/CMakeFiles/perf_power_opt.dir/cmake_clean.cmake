@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_power_opt"
+  "../bench/perf_power_opt.pdb"
+  "CMakeFiles/perf_power_opt.dir/perf_power_opt.cpp.o"
+  "CMakeFiles/perf_power_opt.dir/perf_power_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_power_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

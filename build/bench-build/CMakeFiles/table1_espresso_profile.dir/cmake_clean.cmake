@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_espresso_profile"
+  "../bench/table1_espresso_profile.pdb"
+  "CMakeFiles/table1_espresso_profile.dir/table1_espresso_profile.cpp.o"
+  "CMakeFiles/table1_espresso_profile.dir/table1_espresso_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_espresso_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_li_profile"
+  "../bench/table2_li_profile.pdb"
+  "CMakeFiles/table2_li_profile.dir/table2_li_profile.cpp.o"
+  "CMakeFiles/table2_li_profile.dir/table2_li_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_li_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_idea_profile"
+  "../bench/table3_idea_profile.pdb"
+  "CMakeFiles/table3_idea_profile.dir/table3_idea_profile.cpp.o"
+  "CMakeFiles/table3_idea_profile.dir/table3_idea_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_idea_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_signoff.dir/chip_signoff.cpp.o"
+  "CMakeFiles/chip_signoff.dir/chip_signoff.cpp.o.d"
+  "chip_signoff"
+  "chip_signoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

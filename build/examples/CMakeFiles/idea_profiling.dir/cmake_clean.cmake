@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idea_profiling.dir/idea_profiling.cpp.o"
+  "CMakeFiles/idea_profiling.dir/idea_profiling.cpp.o.d"
+  "idea_profiling"
+  "idea_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idea_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xserver_shutdown.dir/xserver_shutdown.cpp.o"
+  "CMakeFiles/xserver_shutdown.dir/xserver_shutdown.cpp.o.d"
+  "xserver_shutdown"
+  "xserver_shutdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xserver_shutdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

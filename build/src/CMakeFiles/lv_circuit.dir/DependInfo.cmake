@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/cells.cpp" "src/CMakeFiles/lv_circuit.dir/circuit/cells.cpp.o" "gcc" "src/CMakeFiles/lv_circuit.dir/circuit/cells.cpp.o.d"
+  "/root/repo/src/circuit/generators.cpp" "src/CMakeFiles/lv_circuit.dir/circuit/generators.cpp.o" "gcc" "src/CMakeFiles/lv_circuit.dir/circuit/generators.cpp.o.d"
+  "/root/repo/src/circuit/load_model.cpp" "src/CMakeFiles/lv_circuit.dir/circuit/load_model.cpp.o" "gcc" "src/CMakeFiles/lv_circuit.dir/circuit/load_model.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/lv_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/lv_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/netlist_io.cpp" "src/CMakeFiles/lv_circuit.dir/circuit/netlist_io.cpp.o" "gcc" "src/CMakeFiles/lv_circuit.dir/circuit/netlist_io.cpp.o.d"
+  "/root/repo/src/circuit/transforms.cpp" "src/CMakeFiles/lv_circuit.dir/circuit/transforms.cpp.o" "gcc" "src/CMakeFiles/lv_circuit.dir/circuit/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_circuit.dir/circuit/cells.cpp.o"
+  "CMakeFiles/lv_circuit.dir/circuit/cells.cpp.o.d"
+  "CMakeFiles/lv_circuit.dir/circuit/generators.cpp.o"
+  "CMakeFiles/lv_circuit.dir/circuit/generators.cpp.o.d"
+  "CMakeFiles/lv_circuit.dir/circuit/load_model.cpp.o"
+  "CMakeFiles/lv_circuit.dir/circuit/load_model.cpp.o.d"
+  "CMakeFiles/lv_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/lv_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/lv_circuit.dir/circuit/netlist_io.cpp.o"
+  "CMakeFiles/lv_circuit.dir/circuit/netlist_io.cpp.o.d"
+  "CMakeFiles/lv_circuit.dir/circuit/transforms.cpp.o"
+  "CMakeFiles/lv_circuit.dir/circuit/transforms.cpp.o.d"
+  "liblv_circuit.a"
+  "liblv_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

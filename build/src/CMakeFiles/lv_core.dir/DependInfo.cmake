@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity.cpp" "src/CMakeFiles/lv_core.dir/core/activity.cpp.o" "gcc" "src/CMakeFiles/lv_core.dir/core/activity.cpp.o.d"
+  "/root/repo/src/core/bus_encoding.cpp" "src/CMakeFiles/lv_core.dir/core/bus_encoding.cpp.o" "gcc" "src/CMakeFiles/lv_core.dir/core/bus_encoding.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "src/CMakeFiles/lv_core.dir/core/comparison.cpp.o" "gcc" "src/CMakeFiles/lv_core.dir/core/comparison.cpp.o.d"
+  "/root/repo/src/core/dvfs.cpp" "src/CMakeFiles/lv_core.dir/core/dvfs.cpp.o" "gcc" "src/CMakeFiles/lv_core.dir/core/dvfs.cpp.o.d"
+  "/root/repo/src/core/energy_model.cpp" "src/CMakeFiles/lv_core.dir/core/energy_model.cpp.o" "gcc" "src/CMakeFiles/lv_core.dir/core/energy_model.cpp.o.d"
+  "/root/repo/src/core/event_system.cpp" "src/CMakeFiles/lv_core.dir/core/event_system.cpp.o" "gcc" "src/CMakeFiles/lv_core.dir/core/event_system.cpp.o.d"
+  "/root/repo/src/core/parallel_arch.cpp" "src/CMakeFiles/lv_core.dir/core/parallel_arch.cpp.o" "gcc" "src/CMakeFiles/lv_core.dir/core/parallel_arch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_core.dir/core/activity.cpp.o"
+  "CMakeFiles/lv_core.dir/core/activity.cpp.o.d"
+  "CMakeFiles/lv_core.dir/core/bus_encoding.cpp.o"
+  "CMakeFiles/lv_core.dir/core/bus_encoding.cpp.o.d"
+  "CMakeFiles/lv_core.dir/core/comparison.cpp.o"
+  "CMakeFiles/lv_core.dir/core/comparison.cpp.o.d"
+  "CMakeFiles/lv_core.dir/core/dvfs.cpp.o"
+  "CMakeFiles/lv_core.dir/core/dvfs.cpp.o.d"
+  "CMakeFiles/lv_core.dir/core/energy_model.cpp.o"
+  "CMakeFiles/lv_core.dir/core/energy_model.cpp.o.d"
+  "CMakeFiles/lv_core.dir/core/event_system.cpp.o"
+  "CMakeFiles/lv_core.dir/core/event_system.cpp.o.d"
+  "CMakeFiles/lv_core.dir/core/parallel_arch.cpp.o"
+  "CMakeFiles/lv_core.dir/core/parallel_arch.cpp.o.d"
+  "liblv_core.a"
+  "liblv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

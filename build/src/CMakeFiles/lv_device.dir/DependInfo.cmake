@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/capacitance.cpp" "src/CMakeFiles/lv_device.dir/device/capacitance.cpp.o" "gcc" "src/CMakeFiles/lv_device.dir/device/capacitance.cpp.o.d"
+  "/root/repo/src/device/characterize.cpp" "src/CMakeFiles/lv_device.dir/device/characterize.cpp.o" "gcc" "src/CMakeFiles/lv_device.dir/device/characterize.cpp.o.d"
+  "/root/repo/src/device/mosfet.cpp" "src/CMakeFiles/lv_device.dir/device/mosfet.cpp.o" "gcc" "src/CMakeFiles/lv_device.dir/device/mosfet.cpp.o.d"
+  "/root/repo/src/device/soias.cpp" "src/CMakeFiles/lv_device.dir/device/soias.cpp.o" "gcc" "src/CMakeFiles/lv_device.dir/device/soias.cpp.o.d"
+  "/root/repo/src/device/stack.cpp" "src/CMakeFiles/lv_device.dir/device/stack.cpp.o" "gcc" "src/CMakeFiles/lv_device.dir/device/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_device.dir/device/capacitance.cpp.o"
+  "CMakeFiles/lv_device.dir/device/capacitance.cpp.o.d"
+  "CMakeFiles/lv_device.dir/device/characterize.cpp.o"
+  "CMakeFiles/lv_device.dir/device/characterize.cpp.o.d"
+  "CMakeFiles/lv_device.dir/device/mosfet.cpp.o"
+  "CMakeFiles/lv_device.dir/device/mosfet.cpp.o.d"
+  "CMakeFiles/lv_device.dir/device/soias.cpp.o"
+  "CMakeFiles/lv_device.dir/device/soias.cpp.o.d"
+  "CMakeFiles/lv_device.dir/device/stack.cpp.o"
+  "CMakeFiles/lv_device.dir/device/stack.cpp.o.d"
+  "liblv_device.a"
+  "liblv_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

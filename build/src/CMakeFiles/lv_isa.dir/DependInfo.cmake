@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/CMakeFiles/lv_isa.dir/isa/assembler.cpp.o" "gcc" "src/CMakeFiles/lv_isa.dir/isa/assembler.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/lv_isa.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/lv_isa.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/isa/machine.cpp" "src/CMakeFiles/lv_isa.dir/isa/machine.cpp.o" "gcc" "src/CMakeFiles/lv_isa.dir/isa/machine.cpp.o.d"
+  "/root/repo/src/isa/trace.cpp" "src/CMakeFiles/lv_isa.dir/isa/trace.cpp.o" "gcc" "src/CMakeFiles/lv_isa.dir/isa/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_isa.dir/isa/assembler.cpp.o"
+  "CMakeFiles/lv_isa.dir/isa/assembler.cpp.o.d"
+  "CMakeFiles/lv_isa.dir/isa/isa.cpp.o"
+  "CMakeFiles/lv_isa.dir/isa/isa.cpp.o.d"
+  "CMakeFiles/lv_isa.dir/isa/machine.cpp.o"
+  "CMakeFiles/lv_isa.dir/isa/machine.cpp.o.d"
+  "CMakeFiles/lv_isa.dir/isa/trace.cpp.o"
+  "CMakeFiles/lv_isa.dir/isa/trace.cpp.o.d"
+  "liblv_isa.a"
+  "liblv_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/dual_vt.cpp" "src/CMakeFiles/lv_opt.dir/opt/dual_vt.cpp.o" "gcc" "src/CMakeFiles/lv_opt.dir/opt/dual_vt.cpp.o.d"
+  "/root/repo/src/opt/energy_delay.cpp" "src/CMakeFiles/lv_opt.dir/opt/energy_delay.cpp.o" "gcc" "src/CMakeFiles/lv_opt.dir/opt/energy_delay.cpp.o.d"
+  "/root/repo/src/opt/gate_sizing.cpp" "src/CMakeFiles/lv_opt.dir/opt/gate_sizing.cpp.o" "gcc" "src/CMakeFiles/lv_opt.dir/opt/gate_sizing.cpp.o.d"
+  "/root/repo/src/opt/voltage_opt.cpp" "src/CMakeFiles/lv_opt.dir/opt/voltage_opt.cpp.o" "gcc" "src/CMakeFiles/lv_opt.dir/opt/voltage_opt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_opt.dir/opt/dual_vt.cpp.o"
+  "CMakeFiles/lv_opt.dir/opt/dual_vt.cpp.o.d"
+  "CMakeFiles/lv_opt.dir/opt/energy_delay.cpp.o"
+  "CMakeFiles/lv_opt.dir/opt/energy_delay.cpp.o.d"
+  "CMakeFiles/lv_opt.dir/opt/gate_sizing.cpp.o"
+  "CMakeFiles/lv_opt.dir/opt/gate_sizing.cpp.o.d"
+  "CMakeFiles/lv_opt.dir/opt/voltage_opt.cpp.o"
+  "CMakeFiles/lv_opt.dir/opt/voltage_opt.cpp.o.d"
+  "liblv_opt.a"
+  "liblv_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_power.dir/power/estimator.cpp.o"
+  "CMakeFiles/lv_power.dir/power/estimator.cpp.o.d"
+  "CMakeFiles/lv_power.dir/power/glitch.cpp.o"
+  "CMakeFiles/lv_power.dir/power/glitch.cpp.o.d"
+  "liblv_power.a"
+  "liblv_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

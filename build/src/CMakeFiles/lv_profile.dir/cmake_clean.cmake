@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_profile.dir/profile/profiler.cpp.o"
+  "CMakeFiles/lv_profile.dir/profile/profiler.cpp.o.d"
+  "liblv_profile.a"
+  "liblv_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/activity_io.cpp" "src/CMakeFiles/lv_sim.dir/sim/activity_io.cpp.o" "gcc" "src/CMakeFiles/lv_sim.dir/sim/activity_io.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/CMakeFiles/lv_sim.dir/sim/fault.cpp.o" "gcc" "src/CMakeFiles/lv_sim.dir/sim/fault.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/lv_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/lv_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stimulus.cpp" "src/CMakeFiles/lv_sim.dir/sim/stimulus.cpp.o" "gcc" "src/CMakeFiles/lv_sim.dir/sim/stimulus.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/lv_sim.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/lv_sim.dir/sim/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

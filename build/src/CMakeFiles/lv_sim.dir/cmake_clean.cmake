@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_sim.dir/sim/activity_io.cpp.o"
+  "CMakeFiles/lv_sim.dir/sim/activity_io.cpp.o.d"
+  "CMakeFiles/lv_sim.dir/sim/fault.cpp.o"
+  "CMakeFiles/lv_sim.dir/sim/fault.cpp.o.d"
+  "CMakeFiles/lv_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/lv_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/lv_sim.dir/sim/stimulus.cpp.o"
+  "CMakeFiles/lv_sim.dir/sim/stimulus.cpp.o.d"
+  "CMakeFiles/lv_sim.dir/sim/vcd.cpp.o"
+  "CMakeFiles/lv_sim.dir/sim/vcd.cpp.o.d"
+  "liblv_sim.a"
+  "liblv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/process.cpp" "src/CMakeFiles/lv_tech.dir/tech/process.cpp.o" "gcc" "src/CMakeFiles/lv_tech.dir/tech/process.cpp.o.d"
+  "/root/repo/src/tech/techfile.cpp" "src/CMakeFiles/lv_tech.dir/tech/techfile.cpp.o" "gcc" "src/CMakeFiles/lv_tech.dir/tech/techfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

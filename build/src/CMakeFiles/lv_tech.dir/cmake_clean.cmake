@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_tech.dir/tech/process.cpp.o"
+  "CMakeFiles/lv_tech.dir/tech/process.cpp.o.d"
+  "CMakeFiles/lv_tech.dir/tech/techfile.cpp.o"
+  "CMakeFiles/lv_tech.dir/tech/techfile.cpp.o.d"
+  "liblv_tech.a"
+  "liblv_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_timing.dir/timing/delay_model.cpp.o"
+  "CMakeFiles/lv_timing.dir/timing/delay_model.cpp.o.d"
+  "CMakeFiles/lv_timing.dir/timing/path_enum.cpp.o"
+  "CMakeFiles/lv_timing.dir/timing/path_enum.cpp.o.d"
+  "CMakeFiles/lv_timing.dir/timing/sta.cpp.o"
+  "CMakeFiles/lv_timing.dir/timing/sta.cpp.o.d"
+  "liblv_timing.a"
+  "liblv_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

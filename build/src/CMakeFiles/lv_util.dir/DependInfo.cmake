@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_plot.cpp" "src/CMakeFiles/lv_util.dir/util/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/lv_util.dir/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/numeric.cpp" "src/CMakeFiles/lv_util.dir/util/numeric.cpp.o" "gcc" "src/CMakeFiles/lv_util.dir/util/numeric.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/lv_util.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/lv_util.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/CMakeFiles/lv_util.dir/util/statistics.cpp.o" "gcc" "src/CMakeFiles/lv_util.dir/util/statistics.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/lv_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/lv_util.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

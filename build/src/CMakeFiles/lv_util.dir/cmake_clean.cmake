@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_util.dir/util/ascii_plot.cpp.o"
+  "CMakeFiles/lv_util.dir/util/ascii_plot.cpp.o.d"
+  "CMakeFiles/lv_util.dir/util/numeric.cpp.o"
+  "CMakeFiles/lv_util.dir/util/numeric.cpp.o.d"
+  "CMakeFiles/lv_util.dir/util/random.cpp.o"
+  "CMakeFiles/lv_util.dir/util/random.cpp.o.d"
+  "CMakeFiles/lv_util.dir/util/statistics.cpp.o"
+  "CMakeFiles/lv_util.dir/util/statistics.cpp.o.d"
+  "CMakeFiles/lv_util.dir/util/table.cpp.o"
+  "CMakeFiles/lv_util.dir/util/table.cpp.o.d"
+  "liblv_util.a"
+  "liblv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

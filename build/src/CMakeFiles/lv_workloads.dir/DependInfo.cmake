@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/idea.cpp" "src/CMakeFiles/lv_workloads.dir/workloads/idea.cpp.o" "gcc" "src/CMakeFiles/lv_workloads.dir/workloads/idea.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/CMakeFiles/lv_workloads.dir/workloads/kernels.cpp.o" "gcc" "src/CMakeFiles/lv_workloads.dir/workloads/kernels.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/lv_workloads.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/lv_workloads.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lv_workloads.dir/workloads/idea.cpp.o"
+  "CMakeFiles/lv_workloads.dir/workloads/idea.cpp.o.d"
+  "CMakeFiles/lv_workloads.dir/workloads/kernels.cpp.o"
+  "CMakeFiles/lv_workloads.dir/workloads/kernels.cpp.o.d"
+  "CMakeFiles/lv_workloads.dir/workloads/workload.cpp.o"
+  "CMakeFiles/lv_workloads.dir/workloads/workload.cpp.o.d"
+  "liblv_workloads.a"
+  "liblv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

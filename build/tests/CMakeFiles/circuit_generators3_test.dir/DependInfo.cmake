@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/circuit_generators3_test.cpp" "tests/CMakeFiles/circuit_generators3_test.dir/circuit_generators3_test.cpp.o" "gcc" "tests/CMakeFiles/circuit_generators3_test.dir/circuit_generators3_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

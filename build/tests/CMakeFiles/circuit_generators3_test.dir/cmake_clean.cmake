@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_generators3_test.dir/circuit_generators3_test.cpp.o"
+  "CMakeFiles/circuit_generators3_test.dir/circuit_generators3_test.cpp.o.d"
+  "circuit_generators3_test"
+  "circuit_generators3_test.pdb"
+  "circuit_generators3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_generators3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_mac_test.dir/circuit_mac_test.cpp.o"
+  "CMakeFiles/circuit_mac_test.dir/circuit_mac_test.cpp.o.d"
+  "circuit_mac_test"
+  "circuit_mac_test.pdb"
+  "circuit_mac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_mac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_netlist_io_test.dir/circuit_netlist_io_test.cpp.o"
+  "CMakeFiles/circuit_netlist_io_test.dir/circuit_netlist_io_test.cpp.o.d"
+  "circuit_netlist_io_test"
+  "circuit_netlist_io_test.pdb"
+  "circuit_netlist_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_netlist_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

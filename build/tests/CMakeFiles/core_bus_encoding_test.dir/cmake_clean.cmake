@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bus_encoding_test.dir/core_bus_encoding_test.cpp.o"
+  "CMakeFiles/core_bus_encoding_test.dir/core_bus_encoding_test.cpp.o.d"
+  "core_bus_encoding_test"
+  "core_bus_encoding_test.pdb"
+  "core_bus_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bus_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dvfs_test.dir/core_dvfs_test.cpp.o"
+  "CMakeFiles/core_dvfs_test.dir/core_dvfs_test.cpp.o.d"
+  "core_dvfs_test"
+  "core_dvfs_test.pdb"
+  "core_dvfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dvfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

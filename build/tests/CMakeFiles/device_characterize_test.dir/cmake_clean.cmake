@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_characterize_test.dir/device_characterize_test.cpp.o"
+  "CMakeFiles/device_characterize_test.dir/device_characterize_test.cpp.o.d"
+  "device_characterize_test"
+  "device_characterize_test.pdb"
+  "device_characterize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_characterize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_mosfet_test.dir/device_mosfet_test.cpp.o"
+  "CMakeFiles/device_mosfet_test.dir/device_mosfet_test.cpp.o.d"
+  "device_mosfet_test"
+  "device_mosfet_test.pdb"
+  "device_mosfet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_mosfet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_soias_test.dir/device_soias_test.cpp.o"
+  "CMakeFiles/device_soias_test.dir/device_soias_test.cpp.o.d"
+  "device_soias_test"
+  "device_soias_test.pdb"
+  "device_soias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_soias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

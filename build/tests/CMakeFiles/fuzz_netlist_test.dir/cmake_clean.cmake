@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_netlist_test.dir/fuzz_netlist_test.cpp.o"
+  "CMakeFiles/fuzz_netlist_test.dir/fuzz_netlist_test.cpp.o.d"
+  "fuzz_netlist_test"
+  "fuzz_netlist_test.pdb"
+  "fuzz_netlist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_netlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_trace_test.dir/isa_trace_test.cpp.o"
+  "CMakeFiles/isa_trace_test.dir/isa_trace_test.cpp.o.d"
+  "isa_trace_test"
+  "isa_trace_test.pdb"
+  "isa_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

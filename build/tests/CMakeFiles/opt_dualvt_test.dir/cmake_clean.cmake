@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_dualvt_test.dir/opt_dualvt_test.cpp.o"
+  "CMakeFiles/opt_dualvt_test.dir/opt_dualvt_test.cpp.o.d"
+  "opt_dualvt_test"
+  "opt_dualvt_test.pdb"
+  "opt_dualvt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_dualvt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_energy_delay_test.dir/opt_energy_delay_test.cpp.o"
+  "CMakeFiles/opt_energy_delay_test.dir/opt_energy_delay_test.cpp.o.d"
+  "opt_energy_delay_test"
+  "opt_energy_delay_test.pdb"
+  "opt_energy_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_energy_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_gate_sizing_test.dir/opt_gate_sizing_test.cpp.o"
+  "CMakeFiles/opt_gate_sizing_test.dir/opt_gate_sizing_test.cpp.o.d"
+  "opt_gate_sizing_test"
+  "opt_gate_sizing_test.pdb"
+  "opt_gate_sizing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_gate_sizing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

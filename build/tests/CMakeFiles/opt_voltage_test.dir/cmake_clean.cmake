@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_voltage_test.dir/opt_voltage_test.cpp.o"
+  "CMakeFiles/opt_voltage_test.dir/opt_voltage_test.cpp.o.d"
+  "opt_voltage_test"
+  "opt_voltage_test.pdb"
+  "opt_voltage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_voltage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_estimator_test.dir/power_estimator_test.cpp.o"
+  "CMakeFiles/power_estimator_test.dir/power_estimator_test.cpp.o.d"
+  "power_estimator_test"
+  "power_estimator_test.pdb"
+  "power_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

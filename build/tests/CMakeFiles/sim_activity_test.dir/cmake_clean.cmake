@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_activity_test.dir/sim_activity_test.cpp.o"
+  "CMakeFiles/sim_activity_test.dir/sim_activity_test.cpp.o.d"
+  "sim_activity_test"
+  "sim_activity_test.pdb"
+  "sim_activity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_activity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_fuzz_test.dir/tech_fuzz_test.cpp.o"
+  "CMakeFiles/tech_fuzz_test.dir/tech_fuzz_test.cpp.o.d"
+  "tech_fuzz_test"
+  "tech_fuzz_test.pdb"
+  "tech_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_process_test.dir/tech_process_test.cpp.o"
+  "CMakeFiles/tech_process_test.dir/tech_process_test.cpp.o.d"
+  "tech_process_test"
+  "tech_process_test.pdb"
+  "tech_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tech_techfile_test.dir/tech_techfile_test.cpp.o"
+  "CMakeFiles/tech_techfile_test.dir/tech_techfile_test.cpp.o.d"
+  "tech_techfile_test"
+  "tech_techfile_test.pdb"
+  "tech_techfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tech_techfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_path_enum_test.dir/timing_path_enum_test.cpp.o"
+  "CMakeFiles/timing_path_enum_test.dir/timing_path_enum_test.cpp.o.d"
+  "timing_path_enum_test"
+  "timing_path_enum_test.pdb"
+  "timing_path_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_path_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

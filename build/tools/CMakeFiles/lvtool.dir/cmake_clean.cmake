@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lvtool.dir/lvtool.cpp.o"
+  "CMakeFiles/lvtool.dir/lvtool.cpp.o.d"
+  "lvtool"
+  "lvtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lvtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lvtool_help "/root/repo/build/tools/lvtool" "help")
+set_tests_properties(lvtool_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lvtool_gen_stats "/usr/bin/cmake" "-DLVTOOL=/root/repo/build/tools/lvtool" "-DWORK=/root/repo/build/tools/smoke" "-P" "/root/repo/tools/smoke_test.cmake")
+set_tests_properties(lvtool_gen_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lvtool_techfile "/root/repo/build/tools/lvtool" "techfile" "soias")
+set_tests_properties(lvtool_techfile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lvtool_profile "/root/repo/build/tools/lvtool" "profile" "idea" "--blocks" "4")
+set_tests_properties(lvtool_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lvtool_optimize_vt "/root/repo/build/tools/lvtool" "optimize-vt" "soi_low_vt" "--fclk" "5e6" "--activity" "0.5")
+set_tests_properties(lvtool_optimize_vt PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
