@@ -2,6 +2,9 @@
 // solver, and dual-VT assignment (google-benchmark; informational).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "analysis/analysis_context.hpp"
 #include "circuit/generators.hpp"
 #include "opt/dual_vt.hpp"
 #include "opt/voltage_opt.hpp"
@@ -58,6 +61,105 @@ void BM_DualVtAssign(benchmark::State& state) {
   state.counters["gates"] = static_cast<double>(nl.instance_count());
 }
 BENCHMARK(BM_DualVtAssign);
+
+// DVFS-style supply sweep, the workload the AnalysisContext refactor
+// targets: evaluate power + timing at every V_DD point. The _Reconstruct
+// variant builds fresh engines per point (the pre-refactor pattern); the
+// _Retarget variant re-aims one shared context. Same results (see
+// tests/analysis_context_test.cpp), different asymptotics: reconstruct
+// pays O(nets + pins) extraction plus capacitance integrals per point,
+// retarget pays four integral evaluations and O(nets) multiplies.
+std::vector<double> sweep_vdds() {
+  std::vector<double> v;
+  for (double vdd = 0.5; vdd <= 1.5; vdd += 0.05) v.push_back(vdd);
+  return v;
+}
+
+void BM_DvfsSweep_Reconstruct(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_array_multiplier(nl, 8);
+  const auto tech = lv::tech::soi_low_vt();
+  const auto vdds = sweep_vdds();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const double vdd : vdds) {
+      const lv::power::PowerEstimator est{nl, tech, {.vdd = vdd}};
+      const lv::timing::Sta sta{nl, tech, vdd};
+      acc += est.estimate_uniform(0.3).switching +
+             sta.run(1e-9).critical_delay;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["points"] = static_cast<double>(vdds.size());
+}
+BENCHMARK(BM_DvfsSweep_Reconstruct);
+
+void BM_DvfsSweep_Retarget(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_array_multiplier(nl, 8);
+  const auto tech = lv::tech::soi_low_vt();
+  const auto vdds = sweep_vdds();
+  lv::analysis::AnalysisContext ctx{nl, tech};
+  const lv::power::PowerEstimator est{ctx};
+  const lv::timing::Sta sta{ctx};
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const double vdd : vdds) {
+      ctx.set_operating_point({.vdd = vdd});
+      acc += est.estimate_uniform(0.3).switching +
+             sta.run(1e-9).critical_delay;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["points"] = static_cast<double>(vdds.size());
+}
+BENCHMARK(BM_DvfsSweep_Retarget);
+
+// Energy-delay characterization inner loop: delay first, then power at
+// the implied frequency — two operating-point updates per V_DD.
+void BM_EnergyDelaySweep_Reconstruct(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_carry_lookahead_adder(nl, 16);
+  const auto tech = lv::tech::soi_low_vt();
+  const auto vdds = sweep_vdds();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const double vdd : vdds) {
+      const lv::timing::Sta sta{nl, tech, vdd};
+      const double delay = sta.run(1e-9).critical_delay;
+      const lv::power::PowerEstimator est{
+          nl, tech, {.vdd = vdd, .f_clk = 1.0 / delay}};
+      const auto br = est.estimate_uniform(0.3);
+      acc += (br.switching + br.leakage) * delay;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["points"] = static_cast<double>(vdds.size());
+}
+BENCHMARK(BM_EnergyDelaySweep_Reconstruct);
+
+void BM_EnergyDelaySweep_Retarget(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_carry_lookahead_adder(nl, 16);
+  const auto tech = lv::tech::soi_low_vt();
+  const auto vdds = sweep_vdds();
+  lv::analysis::AnalysisContext ctx{nl, tech};
+  const lv::timing::Sta sta{ctx};
+  const lv::power::PowerEstimator est{ctx};
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const double vdd : vdds) {
+      ctx.set_operating_point({.vdd = vdd});
+      const double delay = sta.run(1e-9).critical_delay;
+      ctx.set_operating_point({.vdd = vdd, .f_clk = 1.0 / delay});
+      const auto br = est.estimate_uniform(0.3);
+      acc += (br.switching + br.leakage) * delay;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["points"] = static_cast<double>(vdds.size());
+}
+BENCHMARK(BM_EnergyDelaySweep_Retarget);
 
 }  // namespace
 

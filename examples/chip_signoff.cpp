@@ -4,6 +4,7 @@
 // combinational core, and the burst-mode technology recommendation.
 #include <cstdio>
 
+#include "analysis/analysis_context.hpp"
 #include "circuit/generators.hpp"
 #include "core/comparison.hpp"
 #include "power/estimator.hpp"
@@ -55,11 +56,14 @@ int main() {
               static_cast<unsigned long long>(hw_acc),
               static_cast<unsigned long long>(model_acc & mask));
 
-  // 2. Power, per module, with the glitch split.
-  lv::power::OperatingPoint op;
+  // 2. Power, per module, with the glitch split. One AnalysisContext
+  // backs both the power and timing engines below: the load extraction
+  // and leakage tables are shared instead of rebuilt per engine.
+  lv::analysis::OperatingPoint op;
   op.vdd = 1.0;
   op.f_clk = 100e6;
-  const lv::power::PowerEstimator est{nl, tech, op};
+  const lv::analysis::AnalysisContext ctx{nl, tech, op};
+  const lv::power::PowerEstimator est{ctx};
   const auto split = est.by_module(sim.stats());
   const auto glitch = lv::power::analyze_glitch_power(nl, tech, op,
                                                       sim.stats());
@@ -80,7 +84,7 @@ int main() {
               glitch.glitch_fraction * 100.0, glitch.worst_net.c_str());
 
   // 3. Timing: critical paths.
-  const auto sta = lv::timing::Sta{nl, tech, op.vdd}.run(1.0 / op.f_clk);
+  const auto sta = lv::timing::Sta{ctx}.run(1.0 / op.f_clk);
   std::printf("[timing] critical delay %.3f ns (max %.0f MHz); top paths:\n",
               sta.critical_delay / u::nano,
               1.0 / sta.critical_delay / u::mega);

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "analysis/analysis_context.hpp"
 #include "circuit/generators.hpp"
 #include "core/dvfs.hpp"
 #include "core/parallel_arch.hpp"
@@ -65,12 +66,14 @@ int main(int argc, char** argv) {
                            return n; }()},
   };
   for (const auto& v : variants) {
-    const auto sta = lv::timing::Sta{v.netlist, tech, 1.0}.run(1.0);
-    const c::LoadModel loads{v.netlist, tech, 1.0};
+    // One context per variant feeds both the STA run and the cap report
+    // from a single load extraction.
+    const lv::analysis::AnalysisContext ctx{v.netlist, tech, {.vdd = 1.0}};
+    const auto sta = lv::timing::Sta{ctx}.run(1.0);
     arch.add_row({std::string{v.name},
                   static_cast<long long>(v.netlist.instance_count()),
                   sta.critical_delay / u::nano,
-                  loads.total_cap() / u::pico});
+                  ctx.loads().total_cap() / u::pico});
   }
   std::printf("%s\n", arch.to_ascii().c_str());
 

@@ -1,0 +1,138 @@
+#include "analysis/analysis_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/capacitance.hpp"
+#include "device/stack.hpp"
+#include "util/error.hpp"
+
+namespace lv::analysis {
+
+namespace u = lv::util;
+
+namespace {
+
+// Gate overdrive below which the operating point is infeasible for the
+// alpha-power delay model. Must match timing::DelayModel's constant so
+// context-backed feasibility agrees with DelayModel::feasible().
+constexpr double kMinOverdrive = 0.02;  // [V]
+
+}  // namespace
+
+AnalysisContext::AnalysisContext(const circuit::Netlist& netlist,
+                                 const tech::Process& process,
+                                 OperatingPoint op)
+    : netlist_{netlist},
+      process_{process},
+      op_{op},
+      loads_{netlist, process, op.vdd} {
+  u::require(op.vdd > 0.0, "AnalysisContext: vdd must be > 0");
+  netlist.validate();
+}
+
+void AnalysisContext::set_operating_point(const OperatingPoint& op) {
+  u::require(op.vdd > 0.0, "AnalysisContext: vdd must be > 0");
+  if (op.vdd != op_.vdd) loads_.retarget(op.vdd);
+  op_ = op;
+}
+
+const AnalysisContext::StackFactors& AnalysisContext::stack_factors() const {
+  const auto key = std::tuple{op_.vdd, op_.vt_shift, op_.temp_k};
+  const auto it = stack_memo_.find(key);
+  if (it != stack_memo_.end()) return it->second;
+
+  // Numeric stack factors: leakage of an s-high stack of unit devices
+  // relative to s parallel unit devices' worth of width. Height 1 is 1 by
+  // definition; higher stacks come from the solver (two-device model
+  // cascaded for deeper stacks).
+  StackFactors sf;
+  sf.n[0] = sf.n[1] = 1.0;
+  sf.p[0] = sf.p[1] = 1.0;
+  const auto n_unit = process_.make_nmos(1.0, op_.vt_shift);
+  const auto p_unit = process_.make_pmos(1.0, op_.vt_shift);
+  const auto two_n =
+      device::stack_leakage(n_unit, n_unit, op_.vdd, op_.temp_k).current /
+      n_unit.off_current(op_.vdd, 0.0, op_.temp_k);
+  const auto two_p =
+      device::stack_leakage(p_unit, p_unit, op_.vdd, op_.temp_k).current /
+      p_unit.off_current(op_.vdd, 0.0, op_.temp_k);
+  for (int s = 2; s <= 4; ++s) {
+    // Each extra series device multiplies the reduction by roughly the
+    // two-stack ratio (diminishing, so clamp to not vanish entirely).
+    sf.n[s] = std::max(two_n * std::pow(0.6, s - 2), 1e-4);
+    sf.p[s] = std::max(two_p * std::pow(0.6, s - 2), 1e-4);
+  }
+  return stack_memo_.emplace(key, sf).first->second;
+}
+
+const std::vector<double>& AnalysisContext::cell_leakage(
+    double extra_vt_shift) const {
+  const auto key =
+      std::tuple{op_.vdd, op_.vt_shift, extra_vt_shift, op_.temp_k};
+  const auto it = leak_memo_.find(key);
+  if (it != leak_memo_.end()) return it->second;
+
+  const StackFactors& sf = stack_factors();
+  const auto n = process_.make_nmos(1.0, op_.vt_shift + extra_vt_shift);
+  const auto p = process_.make_pmos(1.0, op_.vt_shift + extra_vt_shift);
+  std::vector<double> table(
+      static_cast<std::size_t>(circuit::CellKind::kind_count), 0.0);
+  for (std::size_t k = 0; k < table.size(); ++k) {
+    const auto& info = circuit::cell_info(static_cast<circuit::CellKind>(k));
+    const double i_n = n.off_current(op_.vdd, 0.0, op_.temp_k) *
+                       info.n_width_total *
+                       sf.n[std::min(info.n_stack, 4)];
+    const double i_p = p.off_current(op_.vdd, 0.0, op_.temp_k) *
+                       info.p_width_total *
+                       sf.p[std::min(info.p_stack, 4)];
+    // State average: output high -> NMOS network leaks; output low -> PMOS.
+    table[k] = 0.5 * (i_n + i_p);
+  }
+  return leak_memo_.emplace(key, std::move(table)).first->second;
+}
+
+const AnalysisContext::DriveParams& AnalysisContext::drive_params(
+    double vt_shift) const {
+  const auto key = std::pair{op_.vdd, vt_shift};
+  const auto it = drive_memo_.find(key);
+  if (it != drive_memo_.end()) return it->second;
+
+  // Mirrors timing::DelayModel's constructor exactly (same expressions,
+  // same process.temp_k temperature) so delays agree bit-for-bit.
+  DriveParams dp;
+  const auto n = process_.make_nmos(1.0, vt_shift);
+  const auto p = process_.make_pmos(1.0, vt_shift);
+  dp.unit_drive = 0.5 * (n.on_current(op_.vdd, 0.0, process_.temp_k) +
+                         p.on_current(op_.vdd, 0.0, process_.temp_k));
+  const device::CapacitanceModel ncap = process_.nmos_caps(1.0);
+  const device::CapacitanceModel pcap = process_.pmos_caps(1.0);
+  dp.fo1_cap = ncap.input_cap_effective(op_.vdd) +
+               pcap.input_cap_effective(op_.vdd) +
+               ncap.drive_parasitic_effective(op_.vdd) +
+               pcap.drive_parasitic_effective(op_.vdd);
+  return drive_memo_.emplace(key, dp).first->second;
+}
+
+double AnalysisContext::unit_drive_current(double vt_shift) const {
+  return drive_params(vt_shift).unit_drive;
+}
+
+double AnalysisContext::delay_for_load(double c_load, double drive_mult,
+                                       double vt_shift) const {
+  u::require(drive_mult > 0.0, "AnalysisContext: drive must be > 0");
+  const double unit_drive = drive_params(vt_shift).unit_drive;
+  if (unit_drive <= 0.0) return 1.0;  // effectively infinite (1 second)
+  return c_load * op_.vdd / (2.0 * drive_mult * unit_drive);
+}
+
+double AnalysisContext::inverter_fo1_delay(double vt_shift) const {
+  return delay_for_load(drive_params(vt_shift).fo1_cap, 1.0, vt_shift);
+}
+
+bool AnalysisContext::delay_feasible(double vt_shift) const {
+  const auto n = process_.make_nmos(1.0, vt_shift);
+  return op_.vdd - n.threshold(0.0, op_.vdd, process_.temp_k) > kMinOverdrive;
+}
+
+}  // namespace lv::analysis

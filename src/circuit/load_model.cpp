@@ -12,37 +12,67 @@ LoadModel::LoadModel(const Netlist& netlist, const tech::Process& process,
 
 LoadModel::LoadModel(const Netlist& netlist, const tech::Process& process,
                      double vdd, const std::vector<double>& instance_sizes)
-    : netlist_{netlist}, process_{process}, vdd_{vdd} {
+    : netlist_{netlist}, process_{process}, vdd_{vdd}, sizes_{instance_sizes} {
   lv::util::require(vdd > 0.0, "LoadModel: vdd must be > 0");
   lv::util::require(instance_sizes.size() == netlist.instance_count(),
                     "LoadModel: instance_sizes count mismatch");
 
-  const device::CapacitanceModel ncap = process.nmos_caps(1.0);
-  const device::CapacitanceModel pcap = process.pmos_caps(1.0);
-  unit_input_cap_ =
-      ncap.input_cap_effective(vdd) + pcap.input_cap_effective(vdd);
-  unit_parasitic_cap_ = ncap.drive_parasitic_effective(vdd) +
-                        pcap.drive_parasitic_effective(vdd);
-
+  gate_mult_.assign(netlist.net_count(), 0.0);
+  parasitic_mult_.assign(netlist.net_count(), 0.0);
+  wire_cap_.assign(netlist.net_count(), 0.0);
   loads_.assign(netlist.net_count(), 0.0);
-  for (NetId n = 0; n < netlist.net_count(); ++n) {
-    double cap = 0.0;
-    // Receiver pins (scaled by each receiver's size).
-    for (const InstanceId consumer : netlist.fanout(n)) {
-      const CellInfo& info = cell_info(netlist.instance(consumer).kind);
-      cap += info.pin_gate_mult * unit_input_cap_ * instance_sizes[consumer];
-    }
-    // Driver parasitics (scaled by the driver's size).
-    const Net& net = netlist.net(n);
-    if (net.driver != ~InstanceId{0}) {
-      const CellInfo& info = cell_info(netlist.instance(net.driver).kind);
-      cap += info.drive_mult * info.intrinsic_cap_mult *
-             unit_parasitic_cap_ * instance_sizes[net.driver];
-    }
-    // Wire estimate: one average segment per fanout pin.
-    cap += process.wire_cap_per_m * process.avg_wire_per_fanout *
-           static_cast<double>(netlist.fanout(n).size());
-    loads_[n] = cap;
+  for (NetId n = 0; n < netlist.net_count(); ++n) refresh_net(n);
+  retarget(vdd);
+}
+
+void LoadModel::refresh_net(NetId n) {
+  // Receiver pins (scaled by each receiver's size).
+  double a = 0.0;
+  for (const InstanceId consumer : netlist_.fanout(n)) {
+    const CellInfo& info = cell_info(netlist_.instance(consumer).kind);
+    a += info.pin_gate_mult * sizes_[consumer];
+  }
+  gate_mult_[n] = a;
+  // Driver parasitics (scaled by the driver's size).
+  const Net& net = netlist_.net(n);
+  if (net.driver != ~InstanceId{0}) {
+    const CellInfo& info = cell_info(netlist_.instance(net.driver).kind);
+    parasitic_mult_[n] =
+        info.drive_mult * info.intrinsic_cap_mult * sizes_[net.driver];
+  } else {
+    parasitic_mult_[n] = 0.0;
+  }
+  // Wire estimate: one average segment per fanout pin.
+  wire_cap_[n] = process_.wire_cap_per_m * process_.avg_wire_per_fanout *
+                 static_cast<double>(netlist_.fanout(n).size());
+}
+
+void LoadModel::retarget(double new_vdd) {
+  lv::util::require(new_vdd > 0.0, "LoadModel: vdd must be > 0");
+  vdd_ = new_vdd;
+  const device::CapacitanceModel ncap = process_.nmos_caps(1.0);
+  const device::CapacitanceModel pcap = process_.pmos_caps(1.0);
+  unit_input_cap_ =
+      ncap.input_cap_effective(vdd_) + pcap.input_cap_effective(vdd_);
+  unit_parasitic_cap_ = ncap.drive_parasitic_effective(vdd_) +
+                        pcap.drive_parasitic_effective(vdd_);
+  for (NetId n = 0; n < netlist_.net_count(); ++n) evaluate_net(n);
+}
+
+void LoadModel::set_instance_size(InstanceId instance, double size) {
+  lv::util::require(instance < netlist_.instance_count(),
+                    "LoadModel: instance out of range");
+  lv::util::require(size > 0.0, "LoadModel: size must be > 0");
+  if (sizes_[instance] == size) return;
+  sizes_[instance] = size;
+  const Instance& inst = netlist_.instance(instance);
+  for (const NetId in : inst.inputs) {
+    refresh_net(in);
+    evaluate_net(in);
+  }
+  if (inst.output != kInvalidNet) {
+    refresh_net(inst.output);
+    evaluate_net(inst.output);
   }
 }
 

@@ -1,13 +1,22 @@
 // Capacitive load extraction: maps every net of a netlist to the effective
 // capacitance switched when it toggles at a given supply. This is where
 // the paper's Fig. 1 message lands in the tool flow — the load is
-// *voltage-dependent* (gate caps rise with V_DD, junction caps fall), so a
-// LoadModel is built per operating voltage.
+// *voltage-dependent* (gate caps rise with V_DD, junction caps fall).
 //
-// Net load = sum over fanout pins of (pin_gate_mult x unit gate input cap)
-//          + driver parasitic (junction + overlap, scaled by drive and
-//            intrinsic multiples)
-//          + estimated wire capacitance (length per fanout x C_wire).
+// The extraction is split into netlist-*structure* coefficients, computed
+// once, and a cheap per-supply evaluation, so operating-point sweeps do
+// not pay the O(pins) netlist walk per point:
+//
+//   net_load(n) = a_n * unit_input_cap(vdd)
+//               + b_n * unit_parasitic_cap(vdd)
+//               + c_n
+//
+// with a_n = sum over fanout pins of pin_gate_mult x receiver size,
+// b_n = driver drive_mult x intrinsic_cap_mult x driver size, and c_n the
+// (voltage-independent) wire estimate. `retarget(vdd)` re-evaluates the
+// two unit capacitances and the per-net affine form in O(nets);
+// `set_instance_size` updates the coefficients of the few nets one
+// instance touches, for incremental sizing loops.
 #pragma once
 
 #include <vector>
@@ -28,6 +37,19 @@ class LoadModel {
             const std::vector<double>& instance_sizes);
 
   double vdd() const { return vdd_; }
+
+  // Re-evaluates every net's load at a new supply without re-walking the
+  // netlist: O(nets) multiplies plus two unit-capacitance evaluations.
+  // Produces bit-identical results to constructing a fresh LoadModel at
+  // `new_vdd` with the same sizes.
+  void retarget(double new_vdd);
+
+  // Changes one instance's size and recomputes the coefficients of the
+  // nets it touches (its input nets and its output net) in O(local pins).
+  // Bit-identical to a fresh sized construction.
+  void set_instance_size(InstanceId instance, double size);
+
+  const std::vector<double>& instance_sizes() const { return sizes_; }
 
   // Effective switched capacitance of one net [F].
   double net_load(NetId net) const { return loads_.at(net); }
@@ -50,6 +72,13 @@ class LoadModel {
   double clock_cap(const std::string& module = "") const;
 
  private:
+  void refresh_net(NetId net);
+  void evaluate_net(NetId net) {
+    loads_[net] = gate_mult_[net] * unit_input_cap_ +
+                  parasitic_mult_[net] * unit_parasitic_cap_ +
+                  wire_cap_[net];
+  }
+
   const Netlist& netlist_;
   // Stored by value: Process is a small parameter bundle and callers often
   // pass factory temporaries (tech::soi_low_vt()).
@@ -57,7 +86,12 @@ class LoadModel {
   double vdd_;
   double unit_input_cap_ = 0.0;
   double unit_parasitic_cap_ = 0.0;
-  std::vector<double> loads_;
+  // Per-net structure coefficients (voltage independent).
+  std::vector<double> gate_mult_;       // a_n: receiver gate-cap multiples
+  std::vector<double> parasitic_mult_;  // b_n: driver parasitic multiples
+  std::vector<double> wire_cap_;        // c_n: wire estimate [F]
+  std::vector<double> sizes_;           // per-instance size overlay
+  std::vector<double> loads_;           // evaluated at vdd_
 };
 
 }  // namespace lv::circuit

@@ -1,5 +1,6 @@
 #include "core/dvfs.hpp"
 
+#include "analysis/analysis_context.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
@@ -16,24 +17,32 @@ DvfsResult plan_dvfs(const circuit::Netlist& netlist,
   u::require(!intervals.empty(), "plan_dvfs: need at least one interval");
   if (race_vdd <= 0.0) race_vdd = process.vdd_nominal;
 
-  auto delay_at = [&](double vdd) {
-    const timing::DelayModel dm{process, vdd};
-    if (!dm.feasible()) return 1e9;
-    return timing::Sta{netlist, process, vdd}.run(1.0).critical_delay;
-  };
-  auto energy_per_op = [&](double vdd, double f) {
-    power::OperatingPoint op;
+  // One context serves every (vdd, f) point the planner probes — the
+  // bisection below retargets it instead of rebuilding load extraction,
+  // leakage tables, and STA per candidate supply.
+  analysis::AnalysisContext ctx{
+      netlist, process,
+      {.vdd = race_vdd, .temp_k = process.temp_k}};
+  const timing::Sta sta{ctx};
+  const power::PowerEstimator est{ctx};
+
+  auto retarget = [&](double vdd, double f) {
+    auto op = ctx.operating_point();
     op.vdd = vdd;
     op.f_clk = f;
-    op.temp_k = process.temp_k;
-    const power::PowerEstimator est{netlist, process, op};
+    ctx.set_operating_point(op);
+  };
+  auto delay_at = [&](double vdd) {
+    retarget(vdd, ctx.operating_point().f_clk);
+    if (!ctx.delay_feasible()) return 1e9;
+    return sta.run(1.0).critical_delay;
+  };
+  auto energy_per_op = [&](double vdd, double f) {
+    retarget(vdd, f);
     return est.estimate_uniform(alpha).energy_per_cycle(f);
   };
   auto idle_leak_power = [&](double vdd) {
-    power::OperatingPoint op;
-    op.vdd = vdd;
-    op.temp_k = process.temp_k;
-    const power::PowerEstimator est{netlist, process, op};
+    retarget(vdd, ctx.operating_point().f_clk);
     return est.leakage_current() * vdd;
   };
 

@@ -1,5 +1,6 @@
 #include "core/parallel_arch.hpp"
 
+#include "analysis/analysis_context.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
@@ -18,6 +19,19 @@ ParallelismResult explore_parallelism(const circuit::Netlist& netlist,
              "explore_parallelism: lanes in [1, 64]");
   u::require(mux_overhead >= 0.0, "explore_parallelism: overhead >= 0");
 
+  // Every lane count re-solves vdd by bisection over the same netlist;
+  // one shared context serves all of those probes.
+  analysis::AnalysisContext ctx{netlist, process,
+                                {.temp_k = process.temp_k}};
+  const timing::Sta sta{ctx};
+  const power::PowerEstimator est{ctx};
+  auto retarget = [&](double vdd, double f) {
+    auto op = ctx.operating_point();
+    op.vdd = vdd;
+    op.f_clk = f;
+    ctx.set_operating_point(op);
+  };
+
   ParallelismResult result;
   for (int n = 1; n <= max_lanes; ++n) {
     ParallelismPoint pt;
@@ -27,9 +41,8 @@ ParallelismResult explore_parallelism(const circuit::Netlist& netlist,
     // Lane delay budget: n cycles of the target rate.
     const double budget = static_cast<double>(n) / f_target;
     auto delay_at = [&](double vdd) {
-      const timing::DelayModel dm{process, vdd};
-      if (!dm.feasible()) return 1e9;
-      const timing::Sta sta{netlist, process, vdd};
+      retarget(vdd, ctx.operating_point().f_clk);
+      if (!ctx.delay_feasible()) return 1e9;
       return sta.run(1.0).critical_delay;
     };
     // Solve vdd: critical_delay(vdd) == budget (delay decreasing in vdd).
@@ -55,12 +68,9 @@ ParallelismResult explore_parallelism(const circuit::Netlist& netlist,
 
     // Lane energy per operation at the relaxed rate; overhead scales the
     // switching component; all N lanes leak for the whole operation.
-    power::OperatingPoint op;
-    op.vdd = vdd;
-    op.f_clk = f_target / n;  // each lane completes one op per budget
-    op.temp_k = process.temp_k;
-    const power::PowerEstimator est{netlist, process, op};
+    retarget(vdd, f_target / n);  // each lane completes one op per budget
     const auto lane = est.estimate_uniform(alpha);
+    const auto& op = ctx.operating_point();
     const double overhead_mult = 1.0 + mux_overhead * (n - 1);
     const double switching_op =
         (lane.switching + lane.short_circuit + lane.clock) / op.f_clk *

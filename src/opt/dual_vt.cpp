@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/analysis_context.hpp"
 #include "device/stack.hpp"
 #include "util/error.hpp"
 #include "util/numeric.hpp"
@@ -42,7 +43,12 @@ DualVtResult assign_dual_vt(const circuit::Netlist& netlist,
              "assign_dual_vt: process has no high-VT flavor");
   u::require(retime_batch >= 1, "assign_dual_vt: batch must be >= 1");
 
-  const timing::Sta sta{netlist, process, vdd};
+  // Shared context: every re-timing pass of the greedy reuses one load
+  // extraction and the memoized low/high-VT drive parameters (the VT
+  // flavors alternate, so the memo hits on all but the first pass).
+  const analysis::AnalysisContext ctx{
+      netlist, process, {.vdd = vdd, .temp_k = process.temp_k}};
+  const timing::Sta sta{ctx};
   const std::size_t count = netlist.instance_count();
   std::vector<double> shifts(count, 0.0);
 

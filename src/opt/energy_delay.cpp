@@ -1,5 +1,6 @@
 #include "opt/energy_delay.hpp"
 
+#include "analysis/analysis_context.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
@@ -18,28 +19,33 @@ EnergyDelayResult explore_energy_delay(const circuit::Netlist& netlist,
              "explore_energy_delay: bad vdd range");
   u::require(points >= 2, "explore_energy_delay: need >= 2 points");
 
+  // Shared context: the sweep retargets one set of structure caches
+  // instead of rebuilding STA + power estimation at every supply.
+  analysis::AnalysisContext ctx{netlist, process,
+                                {.vdd = vdd_lo, .temp_k = process.temp_k}};
+  const timing::Sta sta{ctx};
+  const power::PowerEstimator est{ctx};
+
   EnergyDelayResult result;
   for (const double vdd :
        u::linspace(vdd_lo, vdd_hi, static_cast<std::size_t>(points))) {
     EnergyDelayPoint pt;
     pt.vdd = vdd;
-    const timing::DelayModel dm{process, vdd};
-    if (!dm.feasible()) {
+    auto op = ctx.operating_point();
+    op.vdd = vdd;
+    ctx.set_operating_point(op);
+    if (!ctx.delay_feasible()) {
       result.sweep.push_back(pt);
       continue;
     }
-    const timing::Sta sta{netlist, process, vdd};
     const auto timed = sta.run(1.0);
     pt.delay = timed.critical_delay;
     if (pt.delay <= 0.0) {
       result.sweep.push_back(pt);
       continue;
     }
-    power::OperatingPoint op;
-    op.vdd = vdd;
     op.f_clk = 1.0 / pt.delay;
-    op.temp_k = process.temp_k;
-    const power::PowerEstimator est{netlist, process, op};
+    ctx.set_operating_point(op);
     pt.energy = est.estimate_uniform(alpha).energy_per_cycle(op.f_clk);
     pt.edp = pt.energy * pt.delay;
     pt.feasible = true;

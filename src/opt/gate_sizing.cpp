@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "analysis/analysis_context.hpp"
 #include "circuit/load_model.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
@@ -48,19 +49,33 @@ SizingResult downsize_gates(const circuit::Netlist& netlist,
       vt_shifts != nullptr ? *vt_shifts : zero_shifts;
   u::require(shifts.size() == count, "downsize_gates: vt_shift mismatch");
 
-  const timing::Sta sta{netlist, process, vdd};
+  // One context + one sized LoadModel for the whole greedy: each size
+  // move patches the few nets it touches (set_instance_size) instead of
+  // re-extracting the netlist, and every STA call reuses the coefficient
+  // vectors through run_with_loads. Previously each STA evaluation and
+  // both cap_before/cap_after reports paid a full LoadModel build.
+  analysis::AnalysisContext ctx{netlist, process,
+                                {.vdd = vdd, .temp_k = process.temp_k}};
+  const timing::Sta sta{ctx};
   SizingResult result;
   result.sizes.assign(count, 1.0);
+  circuit::LoadModel sized{ctx.loads()};  // all-1.0x copy, no re-extraction
+  auto set_size = [&](InstanceId i, double s) {
+    result.sizes[i] = s;
+    sized.set_instance_size(i, s);
+  };
+  auto time_sized = [&](double period) {
+    return sta.run_with_loads(period, shifts, sized);
+  };
 
-  const auto base = sta.run(1.0, shifts, result.sizes);
+  const auto base = time_sized(1.0);
   result.delay_before = base.critical_delay;
   result.clock_period = base.critical_delay * (1.0 + period_margin);
-  result.cap_before =
-      circuit::LoadModel{netlist, process, vdd, result.sizes}.total_cap();
+  result.cap_before = sized.total_cap();
   result.leakage_before = total_leakage(netlist, process, vdd, result.sizes);
 
   // Candidate order: most slack first.
-  const auto slacked = sta.run(result.clock_period, shifts, result.sizes);
+  const auto slacked = time_sized(result.clock_period);
   std::vector<InstanceId> order(count);
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](InstanceId a, InstanceId b) {
@@ -69,36 +84,35 @@ SizingResult downsize_gates(const circuit::Netlist& netlist,
 
   std::vector<InstanceId> pending;
   auto commit_or_revert = [&]() {
-    const auto timed = sta.run(result.clock_period, shifts, result.sizes);
+    const auto timed = time_sized(result.clock_period);
     if (timed.critical_delay <= result.clock_period) {
       result.downsized += pending.size();
       pending.clear();
       return;
     }
-    for (const InstanceId i : pending) result.sizes[i] = 1.0;
+    for (const InstanceId i : pending) set_size(i, 1.0);
     for (const InstanceId i : pending) {
-      result.sizes[i] = min_size;
-      const auto single = sta.run(result.clock_period, shifts, result.sizes);
+      set_size(i, min_size);
+      const auto single = time_sized(result.clock_period);
       if (single.critical_delay <= result.clock_period) {
         ++result.downsized;
       } else {
-        result.sizes[i] = 1.0;
+        set_size(i, 1.0);
       }
     }
     pending.clear();
   };
 
   for (const InstanceId i : order) {
-    result.sizes[i] = min_size;
+    set_size(i, min_size);
     pending.push_back(i);
     if (static_cast<int>(pending.size()) >= retime_batch) commit_or_revert();
   }
   if (!pending.empty()) commit_or_revert();
 
-  const auto final_timing = sta.run(result.clock_period, shifts, result.sizes);
+  const auto final_timing = time_sized(result.clock_period);
   result.delay_after = final_timing.critical_delay;
-  result.cap_after =
-      circuit::LoadModel{netlist, process, vdd, result.sizes}.total_cap();
+  result.cap_after = sized.total_cap();
   result.leakage_after = total_leakage(netlist, process, vdd, result.sizes);
   return result;
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "device/stack.hpp"
+#include "device/capacitance.hpp"
 #include "util/error.hpp"
 
 namespace lv::power {
@@ -15,136 +15,118 @@ using circuit::NetId;
 PowerEstimator::PowerEstimator(const circuit::Netlist& netlist,
                                const tech::Process& process,
                                OperatingPoint op)
-    : netlist_{netlist},
-      process_{process},
-      op_{op},
-      loads_{netlist, process, op.vdd} {
+    : owned_{std::make_shared<analysis::AnalysisContext>(netlist, process,
+                                                         op)},
+      ctx_{owned_.get()} {
   u::require(op.vdd > 0.0 && op.f_clk > 0.0,
              "PowerEstimator: vdd and f_clk must be > 0");
-  netlist.validate();
-
-  // Numeric stack factors: leakage of an s-high stack of unit devices
-  // relative to s parallel unit devices' worth of width. Height 1 is 1 by
-  // definition; higher stacks come from the solver (two-device model
-  // cascaded for deeper stacks).
-  stack_factor_n_[0] = stack_factor_n_[1] = 1.0;
-  stack_factor_p_[0] = stack_factor_p_[1] = 1.0;
-  const auto n_unit = process.make_nmos(1.0, op.vt_shift);
-  const auto p_unit = process.make_pmos(1.0, op.vt_shift);
-  const auto two_n =
-      device::stack_leakage(n_unit, n_unit, op.vdd, op.temp_k).current /
-      n_unit.off_current(op.vdd, 0.0, op.temp_k);
-  const auto two_p =
-      device::stack_leakage(p_unit, p_unit, op.vdd, op.temp_k).current /
-      p_unit.off_current(op.vdd, 0.0, op.temp_k);
-  for (int s = 2; s <= 4; ++s) {
-    // Each extra series device multiplies the reduction by roughly the
-    // two-stack ratio (diminishing, so clamp to not vanish entirely).
-    stack_factor_n_[s] = std::max(two_n * std::pow(0.6, s - 2), 1e-4);
-    stack_factor_p_[s] = std::max(two_p * std::pow(0.6, s - 2), 1e-4);
-  }
 }
 
+PowerEstimator::PowerEstimator(const analysis::AnalysisContext& ctx)
+    : ctx_{&ctx} {}
+
 double PowerEstimator::short_circuit_fraction() const {
-  const auto n = process_.make_nmos(1.0, op_.vt_shift);
-  const auto p = process_.make_pmos(1.0, op_.vt_shift);
-  const double vtn = n.threshold(0.0, 0.0, op_.temp_k);
-  const double vtp = p.threshold(0.0, 0.0, op_.temp_k);
-  const double headroom = op_.vdd - vtn - vtp;
+  const auto& op = ctx_->operating_point();
+  const auto& process = ctx_->process();
+  const auto n = process.make_nmos(1.0, op.vt_shift);
+  const auto p = process.make_pmos(1.0, op.vt_shift);
+  const double vtn = n.threshold(0.0, 0.0, op.temp_k);
+  const double vtp = p.threshold(0.0, 0.0, op.temp_k);
+  const double headroom = op.vdd - vtn - vtp;
   if (headroom <= 0.0) return 0.0;  // no N/P overlap conduction
   // Scales with the overlap window; 0.10 at rail-dominated operation, the
   // "kept to less than 10-20% by equalizing edges" regime of Section 2.
-  return 0.10 * std::min(1.0, headroom / op_.vdd);
-}
-
-double PowerEstimator::instance_leakage(InstanceId id,
-                                        double extra_shift) const {
-  const auto& inst = netlist_.instance(id);
-  const auto& info = circuit::cell_info(inst.kind);
-  const auto n = process_.make_nmos(1.0, op_.vt_shift + extra_shift);
-  const auto p = process_.make_pmos(1.0, op_.vt_shift + extra_shift);
-  const double i_n = n.off_current(op_.vdd, 0.0, op_.temp_k) *
-                     info.n_width_total *
-                     stack_factor_n_[std::min(info.n_stack, 4)];
-  const double i_p = p.off_current(op_.vdd, 0.0, op_.temp_k) *
-                     info.p_width_total *
-                     stack_factor_p_[std::min(info.p_stack, 4)];
-  // State average: output high -> NMOS network leaks; output low -> PMOS.
-  return 0.5 * (i_n + i_p);
+  return 0.10 * std::min(1.0, headroom / op.vdd);
 }
 
 double PowerEstimator::leakage_current(double extra_vt_shift) const {
+  const auto& netlist = ctx_->netlist();
+  const std::vector<double>& per_kind = ctx_->cell_leakage(extra_vt_shift);
   double total = 0.0;
-  for (InstanceId i = 0; i < netlist_.instance_count(); ++i)
-    total += instance_leakage(i, extra_vt_shift);
+  for (InstanceId i = 0; i < netlist.instance_count(); ++i)
+    total += per_kind[static_cast<std::size_t>(netlist.instance(i).kind)];
   return total;
 }
 
 double PowerEstimator::module_leakage_current(const std::string& module,
                                               double extra_vt_shift) const {
+  const auto& netlist = ctx_->netlist();
+  const std::vector<double>& per_kind = ctx_->cell_leakage(extra_vt_shift);
   double total = 0.0;
-  for (InstanceId i = 0; i < netlist_.instance_count(); ++i)
-    if (netlist_.instance(i).module == module)
-      total += instance_leakage(i, extra_vt_shift);
+  for (InstanceId i = 0; i < netlist.instance_count(); ++i)
+    if (netlist.instance(i).module == module)
+      total += per_kind[static_cast<std::size_t>(netlist.instance(i).kind)];
   return total;
 }
 
 PowerBreakdown PowerEstimator::estimate(const sim::ActivityStats& stats) const {
+  const auto& netlist = ctx_->netlist();
+  const auto& op = ctx_->operating_point();
+  const auto& loads = ctx_->loads();
   PowerBreakdown out;
-  const double v2f = op_.vdd * op_.vdd * op_.f_clk;
-  for (NetId n = 0; n < netlist_.net_count(); ++n)
-    out.switching += stats.alpha(n) * loads_.net_load(n) * v2f;
+  const double v2f = op.vdd * op.vdd * op.f_clk;
+  for (NetId n = 0; n < netlist.net_count(); ++n)
+    out.switching += stats.alpha(n) * loads.net_load(n) * v2f;
   out.short_circuit = out.switching * short_circuit_fraction();
-  out.leakage = leakage_current() * op_.vdd;
-  out.clock = loads_.clock_cap() * v2f;
+  out.leakage = leakage_current() * op.vdd;
+  out.clock = loads.clock_cap() * v2f;
   return out;
 }
 
 PowerBreakdown PowerEstimator::estimate_uniform(double alpha) const {
   u::require(alpha >= 0.0, "PowerEstimator: alpha must be >= 0");
+  const auto& op = ctx_->operating_point();
+  const auto& loads = ctx_->loads();
   PowerBreakdown out;
-  const double v2f = op_.vdd * op_.vdd * op_.f_clk;
-  out.switching = alpha * loads_.total_cap() * v2f;
+  const double v2f = op.vdd * op.vdd * op.f_clk;
+  out.switching = alpha * loads.total_cap() * v2f;
   out.short_circuit = out.switching * short_circuit_fraction();
-  out.leakage = leakage_current() * op_.vdd;
-  out.clock = loads_.clock_cap() * v2f;
+  out.leakage = leakage_current() * op.vdd;
+  out.clock = loads.clock_cap() * v2f;
   return out;
 }
 
 std::map<std::string, PowerBreakdown> PowerEstimator::by_module(
     const sim::ActivityStats& stats) const {
+  const auto& netlist = ctx_->netlist();
+  const auto& op = ctx_->operating_point();
+  const auto& loads = ctx_->loads();
   std::map<std::string, PowerBreakdown> out;
-  const double v2f = op_.vdd * op_.vdd * op_.f_clk;
+  const double v2f = op.vdd * op.vdd * op.f_clk;
   const double sc_frac = short_circuit_fraction();
-  for (NetId n = 0; n < netlist_.net_count(); ++n) {
-    const auto& net = netlist_.net(n);
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    const auto& net = netlist.net(n);
     // Driverless nets (primary inputs) are billed to the top module ""
     // so the per-module split always sums to the whole-netlist estimate.
     const std::string mod = net.driver == ~InstanceId{0}
                                 ? std::string{}
-                                : netlist_.instance(net.driver).module;
+                                : netlist.instance(net.driver).module;
     auto& slot = out[mod];
-    const double sw = stats.alpha(n) * loads_.net_load(n) * v2f;
+    const double sw = stats.alpha(n) * loads.net_load(n) * v2f;
     slot.switching += sw;
     slot.short_circuit += sw * sc_frac;
   }
-  for (InstanceId i = 0; i < netlist_.instance_count(); ++i) {
-    const auto& inst = netlist_.instance(i);
-    out[inst.module].leakage += instance_leakage(i, 0.0) * op_.vdd;
+  const std::vector<double>& per_kind = ctx_->cell_leakage(0.0);
+  for (InstanceId i = 0; i < netlist.instance_count(); ++i) {
+    const auto& inst = netlist.instance(i);
+    out[inst.module].leakage +=
+        per_kind[static_cast<std::size_t>(inst.kind)] * op.vdd;
     if (circuit::cell_info(inst.kind).sequential)
       out[inst.module].clock +=
           circuit::cell_info(inst.kind).clock_cap_mult *
-          loads_.unit_input_cap() * v2f;
+          loads.unit_input_cap() * v2f;
   }
   return out;
 }
 
 double PowerEstimator::switched_cap_per_cycle(
     const sim::ActivityStats& stats) const {
+  const auto& netlist = ctx_->netlist();
+  const auto& loads = ctx_->loads();
   double cap = 0.0;
-  for (NetId n = 0; n < netlist_.net_count(); ++n)
-    cap += stats.alpha(n) * loads_.net_load(n);
-  return cap + loads_.clock_cap();
+  for (NetId n = 0; n < netlist.net_count(); ++n)
+    cap += stats.alpha(n) * loads.net_load(n);
+  return cap + loads.clock_cap();
 }
 
 double register_switched_cap(circuit::CellKind style,

@@ -12,11 +12,19 @@
 //    take the subthreshold leakage component into account" — this one
 //    does);
 //  * clock: sequential cells' clock load switches every enabled cycle.
+//
+// The estimator evaluates through an analysis::AnalysisContext. The
+// classic (netlist, process, op) constructor builds a private context;
+// sweeps should instead share one context across engines and call
+// set_operating_point per point — the estimator reads the context's
+// current point live, so retargets flow through without reconstruction.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 
+#include "analysis/analysis_context.hpp"
 #include "circuit/load_model.hpp"
 #include "circuit/netlist.hpp"
 #include "sim/simulator.hpp"
@@ -35,20 +43,26 @@ struct PowerBreakdown {
   double energy_per_cycle(double f_clk) const { return total() / f_clk; }
 };
 
-struct OperatingPoint {
-  double vdd = 1.0;       // [V]
-  double f_clk = 50e6;    // [Hz]
-  double vt_shift = 0.0;  // applied to all devices [V]
-  double temp_k = 300.0;
-};
+// The operating point lives in the analysis layer now; the historical
+// power::OperatingPoint name stays valid for all existing call sites.
+using OperatingPoint = analysis::OperatingPoint;
 
 class PowerEstimator {
  public:
+  // Classic form: constructs a private AnalysisContext at `op`.
   PowerEstimator(const circuit::Netlist& netlist,
                  const tech::Process& process, OperatingPoint op);
 
-  const OperatingPoint& operating_point() const { return op_; }
-  const circuit::LoadModel& loads() const { return loads_; }
+  // Shared-context form: evaluates at `ctx`'s *current* operating point,
+  // tracking later set_operating_point calls. The context must outlive
+  // the estimator.
+  explicit PowerEstimator(const analysis::AnalysisContext& ctx);
+
+  const OperatingPoint& operating_point() const {
+    return ctx_->operating_point();
+  }
+  const circuit::LoadModel& loads() const { return ctx_->loads(); }
+  const analysis::AnalysisContext& context() const { return *ctx_; }
 
   // Power from measured per-net activity (simulator statistics).
   PowerBreakdown estimate(const sim::ActivityStats& stats) const;
@@ -74,19 +88,11 @@ class PowerEstimator {
   double switched_cap_per_cycle(const sim::ActivityStats& stats) const;
 
  private:
-  double instance_leakage(circuit::InstanceId id, double extra_shift) const;
   double short_circuit_fraction() const;
 
-  const circuit::Netlist& netlist_;
-  // Stored by value: Process is a small parameter bundle and callers often
-  // pass factory temporaries (tech::soi_low_vt()).
-  tech::Process process_;
-  OperatingPoint op_;
-  circuit::LoadModel loads_;
-  // Stack-effect derating factors for series heights 1..4, computed once
-  // from the device model via the stack solver.
-  double stack_factor_n_[5];
-  double stack_factor_p_[5];
+  // Owned when built via the classic constructor, null when borrowing.
+  std::shared_ptr<analysis::AnalysisContext> owned_;
+  const analysis::AnalysisContext* ctx_;
 };
 
 // Switched capacitance per cycle of a single register cell of the given

@@ -9,7 +9,8 @@ namespace {
 
 // Gate overdrive below which we declare the operating point infeasible
 // (the alpha-power model is meaningless when the device is sub-threshold
-// for the whole transition).
+// for the whole transition). Mirrored by AnalysisContext::delay_feasible;
+// change both together.
 constexpr double kMinOverdrive = 0.02;  // [V]
 
 }  // namespace

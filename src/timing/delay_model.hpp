@@ -6,6 +6,11 @@
 // This is the delay expression behind the paper's Figs. 3-4: lowering V_T
 // lets V_DD drop at constant delay; the iso-delay contour V_DD(V_T) and
 // the fixed-throughput energy optimum both come from inverting it.
+//
+// analysis::AnalysisContext memoizes these drive parameters per
+// (vdd, vt_shift) and serves context-backed STA from that cache; its
+// delay primitives must stay expression-for-expression identical to this
+// class (the equivalence is pinned by tests/analysis_context_test.cpp).
 #pragma once
 
 #include "circuit/load_model.hpp"

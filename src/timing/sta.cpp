@@ -13,66 +13,70 @@ using circuit::NetId;
 
 Sta::Sta(const circuit::Netlist& netlist, const tech::Process& process,
          double vdd)
-    : netlist_{netlist}, process_{process}, vdd_{vdd},
-      loads_{netlist, process, vdd} {
-  netlist.validate();
-}
+    : owned_{std::make_shared<analysis::AnalysisContext>(
+          netlist, process, analysis::OperatingPoint{.vdd = vdd})},
+      ctx_{owned_.get()} {}
+
+Sta::Sta(const analysis::AnalysisContext& ctx) : ctx_{&ctx} {}
 
 StaResult Sta::run(double clock_period) const {
   return run(clock_period,
-             std::vector<double>(netlist_.instance_count(), 0.0));
+             std::vector<double>(ctx_->netlist().instance_count(), 0.0));
 }
 
 StaResult Sta::run(double clock_period,
                    const std::vector<double>& instance_vt_shift) const {
-  return run_impl(clock_period, instance_vt_shift, nullptr, loads_);
+  return run_impl(clock_period, instance_vt_shift, nullptr, ctx_->loads());
 }
 
 StaResult Sta::run(double clock_period,
                    const std::vector<double>& instance_vt_shift,
                    const std::vector<double>& instance_sizes) const {
-  u::require(instance_sizes.size() == netlist_.instance_count(),
+  u::require(instance_sizes.size() == ctx_->netlist().instance_count(),
              "Sta: size vector size mismatch");
-  const circuit::LoadModel sized_loads{netlist_, process_, vdd_,
+  const circuit::LoadModel sized_loads{ctx_->netlist(), ctx_->process(),
+                                       ctx_->operating_point().vdd,
                                        instance_sizes};
   return run_impl(clock_period, instance_vt_shift, &instance_sizes,
                   sized_loads);
+}
+
+StaResult Sta::run_with_loads(double clock_period,
+                              const std::vector<double>& instance_vt_shift,
+                              const circuit::LoadModel& loads) const {
+  u::require(loads.instance_sizes().size() ==
+                 ctx_->netlist().instance_count(),
+             "Sta: loads instance count mismatch");
+  return run_impl(clock_period, instance_vt_shift, &loads.instance_sizes(),
+                  loads);
 }
 
 StaResult Sta::run_impl(double clock_period,
                         const std::vector<double>& instance_vt_shift,
                         const std::vector<double>* instance_sizes,
                         const circuit::LoadModel& loads) const {
-  u::require(instance_vt_shift.size() == netlist_.instance_count(),
+  const circuit::Netlist& netlist = ctx_->netlist();
+  u::require(instance_vt_shift.size() == netlist.instance_count(),
              "Sta: vt_shift vector size mismatch");
 
   StaResult r;
-  r.net_arrival.assign(netlist_.net_count(), 0.0);
-  r.instance_delay.assign(netlist_.instance_count(), 0.0);
-  r.instance_slack.assign(netlist_.instance_count(),
+  r.net_arrival.assign(netlist.net_count(), 0.0);
+  r.instance_delay.assign(netlist.instance_count(), 0.0);
+  r.instance_slack.assign(netlist.instance_count(),
                           std::numeric_limits<double>::infinity());
 
-  // Two delay models bracket the VT flavors; per-instance delay uses the
-  // model matching its shift. Distinct shifts are expected to be few
-  // (uniform or dual-VT), so cache by value.
-  std::vector<std::pair<double, DelayModel>> models;
-  auto model_for = [&](double shift) -> const DelayModel& {
-    for (const auto& [s, m] : models)
-      if (s == shift) return m;
-    models.emplace_back(shift, DelayModel{process_, vdd_, shift});
-    return models.back().second;
-  };
-
-  // Forward pass: arrival times in topological order.
-  const auto& order = netlist_.topo_order();
+  // Forward pass: arrival times in topological order. Drive parameters per
+  // VT flavor come from the context's memo (shared across run calls and
+  // across operating points, unlike the per-run cache this replaced).
+  const auto& order = netlist.topo_order();
   for (const InstanceId i : order) {
-    const auto& inst = netlist_.instance(i);
-    const DelayModel& dm = model_for(instance_vt_shift[i]);
+    const auto& inst = netlist.instance(i);
     const double size =
         instance_sizes == nullptr ? 1.0 : (*instance_sizes)[i];
     const auto& info = circuit::cell_info(inst.kind);
-    const double d = dm.delay_for_load(loads.net_load(inst.output),
-                                       info.drive_mult * size);
+    const double d =
+        ctx_->delay_for_load(loads.net_load(inst.output),
+                             info.drive_mult * size, instance_vt_shift[i]);
     r.instance_delay[i] = d;
     double arrive = 0.0;
     for (const NetId in : inst.inputs)
@@ -82,14 +86,14 @@ StaResult Sta::run_impl(double clock_period,
 
   // Endpoints: primary outputs and flop D pins.
   auto is_endpoint_net = [&](NetId n) {
-    if (netlist_.net(n).is_primary_output) return true;
-    for (const InstanceId consumer : netlist_.fanout(n))
-      if (circuit::cell_info(netlist_.instance(consumer).kind).sequential)
+    if (netlist.net(n).is_primary_output) return true;
+    for (const InstanceId consumer : netlist.fanout(n))
+      if (circuit::cell_info(netlist.instance(consumer).kind).sequential)
         return true;
     return false;
   };
   NetId worst_net = circuit::kInvalidNet;
-  for (NetId n = 0; n < netlist_.net_count(); ++n) {
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
     if (!is_endpoint_net(n)) continue;
     if (r.net_arrival[n] > r.critical_delay) {
       r.critical_delay = r.net_arrival[n];
@@ -101,9 +105,9 @@ StaResult Sta::run_impl(double clock_period,
   {
     NetId n = worst_net;
     while (n != circuit::kInvalidNet) {
-      const InstanceId drv = netlist_.net(n).driver;
+      const InstanceId drv = netlist.net(n).driver;
       if (drv == ~InstanceId{0}) break;
-      const auto& inst = netlist_.instance(drv);
+      const auto& inst = netlist.instance(drv);
       if (circuit::cell_info(inst.kind).sequential) break;
       r.critical_path.push_back(drv);
       // Predecessor with the latest arrival dominates.
@@ -121,13 +125,13 @@ StaResult Sta::run_impl(double clock_period,
   }
 
   // Backward pass: required times against the clock period.
-  std::vector<double> net_required(netlist_.net_count(),
+  std::vector<double> net_required(netlist.net_count(),
                                    std::numeric_limits<double>::infinity());
-  for (NetId n = 0; n < netlist_.net_count(); ++n)
+  for (NetId n = 0; n < netlist.net_count(); ++n)
     if (is_endpoint_net(n)) net_required[n] = clock_period;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const InstanceId i = *it;
-    const auto& inst = netlist_.instance(i);
+    const auto& inst = netlist.instance(i);
     const double input_required =
         net_required[inst.output] - r.instance_delay[i];
     for (const NetId in : inst.inputs)

@@ -6,10 +6,18 @@
 // Per-instance VT flavor is supported through an optional per-instance
 // vt_shift vector, so the same STA engine times both uniform-VT and
 // mixed-VT netlists.
+//
+// The engine evaluates through an analysis::AnalysisContext: loads come
+// from the context's coefficient cache and drive currents from its
+// memoized alpha-power parameters, so V_DD sweeps retarget the shared
+// context instead of rebuilding a LoadModel per point. The classic
+// (netlist, process, vdd) constructor builds a private context.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "analysis/analysis_context.hpp"
 #include "timing/delay_model.hpp"
 
 namespace lv::timing {
@@ -36,6 +44,11 @@ class Sta {
   Sta(const circuit::Netlist& netlist, const tech::Process& process,
       double vdd);
 
+  // Shared-context form: times the netlist at `ctx`'s *current* operating
+  // point (vdd), tracking later set_operating_point calls. The context
+  // must outlive the Sta.
+  explicit Sta(const analysis::AnalysisContext& ctx);
+
   // Uniform VT (all instances at the process's nominal threshold).
   StaResult run(double clock_period) const;
 
@@ -45,11 +58,20 @@ class Sta {
                 const std::vector<double>& instance_vt_shift) const;
 
   // Mixed VT + per-instance sizing: `instance_sizes[i]` scales instance
-  // i's drive strength and input capacitance (a fresh LoadModel is built
-  // for the sized netlist). Both vectors need instance_count entries.
+  // i's drive strength and input capacitance (a fresh sized LoadModel is
+  // built per call). Both vectors need instance_count entries. Sizing
+  // loops that mutate one instance at a time should keep their own
+  // LoadModel up to date with set_instance_size and call run_with_loads.
   StaResult run(double clock_period,
                 const std::vector<double>& instance_vt_shift,
                 const std::vector<double>& instance_sizes) const;
+
+  // Like the sized run, but against caller-maintained sized loads
+  // (`loads.instance_sizes()` supplies the drive scaling). Avoids the
+  // per-call LoadModel reconstruction in incremental optimizers.
+  StaResult run_with_loads(double clock_period,
+                           const std::vector<double>& instance_vt_shift,
+                           const circuit::LoadModel& loads) const;
 
  private:
   StaResult run_impl(double clock_period,
@@ -57,12 +79,9 @@ class Sta {
                      const std::vector<double>* instance_sizes,
                      const circuit::LoadModel& loads) const;
 
-  const circuit::Netlist& netlist_;
-  // Stored by value: Process is a small parameter bundle and callers often
-  // pass factory temporaries (tech::soi_low_vt()).
-  tech::Process process_;
-  double vdd_;
-  circuit::LoadModel loads_;
+  // Owned when built via the classic constructor, null when borrowing.
+  std::shared_ptr<analysis::AnalysisContext> owned_;
+  const analysis::AnalysisContext* ctx_;
 };
 
 }  // namespace lv::timing
