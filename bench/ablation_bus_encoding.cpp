@@ -10,7 +10,8 @@
 #include "sim/stimulus.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   namespace c = lv::core;
   lv::bench::banner("Ablation X7", "bus encoding vs stream statistics");
 

@@ -11,7 +11,8 @@
 #include "opt/dual_vt.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   namespace c = lv::circuit;
   namespace o = lv::opt;
   lv::bench::banner("Ablation X1", "dual-VT assignment vs period margin");

@@ -12,7 +12,8 @@
 #include "opt/dual_vt.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   namespace c = lv::circuit;
   namespace o = lv::opt;
   lv::bench::banner("Ablation X3", "MTCMOS sleep-transistor sizing");

@@ -12,7 +12,8 @@
 #include "core/parallel_arch.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   lv::bench::banner("Ablation X5", "parallelism vs voltage scaling");
 
   lv::circuit::Netlist nl;

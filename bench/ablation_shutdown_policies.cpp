@@ -10,7 +10,8 @@
 #include "core/event_system.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   namespace c = lv::core;
   lv::bench::banner("Ablation X2", "shutdown policies on bursty traces");
 

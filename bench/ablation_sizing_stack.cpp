@@ -14,7 +14,8 @@
 #include "timing/sta.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   namespace o = lv::opt;
   lv::bench::banner("Ablation X6", "gate sizing x dual-VT composition");
 

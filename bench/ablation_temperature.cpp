@@ -10,7 +10,8 @@
 #include "tech/process.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   lv::bench::banner("Ablation X4", "temperature sensitivity");
   const lv::timing::RingOscillator ring{101};
 

@@ -3,14 +3,30 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "exec/thread_pool.hpp"
+
 namespace lv::bench {
+
+// Applies a `--threads N` argument if present (every bench accepts it;
+// LVSIM_THREADS works too, via the pool's own default resolution).
+inline void apply_thread_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string{argv[i]} == "--threads") {
+      const long long n = std::atoll(argv[i + 1]);
+      // Ignore garbage/negative values rather than exploding the width
+      // (a negative cast to size_t would request one worker per task).
+      if (n >= 0) lv::exec::set_thread_count(static_cast<std::size_t>(n));
+    }
+}
 
 inline void banner(const std::string& id, const std::string& title) {
   std::printf("==================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("paper: Chandrakasan et al., DAC 1996\n");
+  std::printf("threads: %zu\n", lv::exec::thread_count());
   std::printf("==================================================\n");
 }
 

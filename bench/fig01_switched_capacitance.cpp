@@ -15,7 +15,8 @@
 #include "util/table.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   using lv::circuit::CellKind;
   namespace u = lv::util;
 

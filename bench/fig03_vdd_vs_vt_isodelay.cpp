@@ -12,8 +12,9 @@
 #include "util/numeric.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   namespace u = lv::util;
+  lv::bench::apply_thread_args(argc, argv);
   lv::bench::banner("Fig. 3", "iso-delay V_DD vs V_T (ring oscillator)");
 
   const auto tech = lv::tech::soi_low_vt();
@@ -30,16 +31,22 @@ int main() {
                                {},
                                {}});
 
+  // Each curve is one parallel iso-delay solve over the whole V_T axis.
+  const auto vts = u::linspace(0.05, 0.50, 19);
+  std::vector<std::optional<double>> curves[3];
+  for (int k = 0; k < 3; ++k)
+    curves[k] =
+        lv::opt::iso_delay_curve(tech, ring, vts, targets_ps[k] * 1e-12);
+
   bool monotone = true;
   bool faster_higher = true;
   double prev[3] = {0.0, 0.0, 0.0};
-  for (const double vt : u::linspace(0.05, 0.50, 19)) {
+  for (std::size_t i = 0; i < vts.size(); ++i) {
+    const double vt = vts[i];
     std::vector<u::Table::Cell> row{vt};
     double row_vdd[3] = {0.0, 0.0, 0.0};
     for (int k = 0; k < 3; ++k) {
-      const auto vdd =
-          lv::opt::iso_delay_vdd(tech, ring, vt, targets_ps[k] * 1e-12);
-      const double v = vdd.value_or(-1.0);
+      const double v = curves[k][i].value_or(-1.0);
       row.push_back(v);
       row_vdd[k] = v;
       if (v > 0.0) {

@@ -12,7 +12,8 @@
 #include "sim/stimulus.hpp"
 #include "util/ascii_plot.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   namespace c = lv::circuit;
   namespace s = lv::sim;
   lv::bench::banner("Fig. 8", "8-bit RCA activity histogram, random inputs");

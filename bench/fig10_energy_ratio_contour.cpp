@@ -40,7 +40,8 @@ double measure_alpha(lv::circuit::Netlist& nl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lv::bench::apply_thread_args(argc, argv);
   namespace c = lv::core;
   namespace ci = lv::circuit;
   namespace p = lv::profile;

@@ -1,12 +1,16 @@
 // P2 — analysis-engine throughput: power estimation, STA, the iso-delay
-// solver, and dual-VT assignment (google-benchmark; informational).
+// solver, and dual-VT assignment, plus thread-scaling pairs for the
+// lv::exec-parallelized sweeps (google-benchmark; informational).
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "analysis/analysis_context.hpp"
 #include "circuit/generators.hpp"
+#include "core/comparison.hpp"
+#include "exec/thread_pool.hpp"
 #include "opt/dual_vt.hpp"
+#include "opt/energy_delay.hpp"
 #include "opt/voltage_opt.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
@@ -160,6 +164,66 @@ void BM_EnergyDelaySweep_Retarget(benchmark::State& state) {
   state.counters["points"] = static_cast<double>(vdds.size());
 }
 BENCHMARK(BM_EnergyDelaySweep_Retarget);
+
+// ---- lv::exec thread scaling -----------------------------------------
+// Each benchmark takes the worker width as its argument; /1 is the serial
+// code path, so the /1 vs /8 ratio is the parallel speedup. Results are
+// bit-identical at every width (tests/exec_test.cpp pins this), so the
+// pairs measure scheduling, not approximation.
+
+// Fig. 10 energy-ratio grid at a dense 201x201 sampling (the production
+// 41x41 grid finishes in tens of microseconds — too little work to time
+// scheduling against).
+void BM_Fig10Grid(benchmark::State& state) {
+  lv::exec::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 16);
+  const auto tech = lv::tech::soias();
+  const lv::core::BurstOperatingPoint op{1.0, tech.backgate_swing, 50e6,
+                                         1.0};
+  const auto mod =
+      lv::core::module_params_from_netlist(nl, tech, op.vdd, "adder");
+  for (auto _ : state) {
+    const auto grid = lv::core::energy_ratio_grid(mod, 0.3, op, 1e-5, 1.0,
+                                                  1e-5, 1.0, 201);
+    benchmark::DoNotOptimize(grid.log_ratio[0][0]);
+  }
+  state.counters["cells"] = 201.0 * 201.0;
+  lv::exec::set_thread_count(0);
+}
+BENCHMARK(BM_Fig10Grid)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+// Fig. 4 V_T sweep: 41 iso-delay bisections + energy evaluations.
+void BM_VtSweep(benchmark::State& state) {
+  lv::exec::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  const auto tech = lv::tech::soi_low_vt();
+  const lv::timing::RingOscillator ring{101};
+  for (auto _ : state) {
+    const auto r = lv::opt::optimize_vt(tech, ring, 5e6, 1.0, 0.05, 0.55, 41);
+    benchmark::DoNotOptimize(r.optimum.total_energy);
+  }
+  state.counters["points"] = 41.0;
+  lv::exec::set_thread_count(0);
+}
+BENCHMARK(BM_VtSweep)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+// Netlist energy-delay sweep: per-point STA + power on context clones.
+void BM_EnergyDelayExplore(benchmark::State& state) {
+  lv::exec::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  lv::circuit::Netlist nl;
+  lv::circuit::build_carry_lookahead_adder(nl, 16);
+  const auto tech = lv::tech::soi_low_vt();
+  for (auto _ : state) {
+    const auto r = lv::opt::explore_energy_delay(nl, tech, 0.3, 0.5, 1.5, 25);
+    benchmark::DoNotOptimize(r.min_edp.edp);
+  }
+  state.counters["points"] = 25.0;
+  lv::exec::set_thread_count(0);
+}
+BENCHMARK(BM_EnergyDelayExplore)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -1,10 +1,13 @@
-// P1 — engine throughput: event-driven logic simulation and the LVR32
-// instruction-set simulator (google-benchmark; informational).
+// P1 — engine throughput: event-driven logic simulation, the LVR32
+// instruction-set simulator, and the stuck-at fault campaign's thread
+// scaling (google-benchmark; informational).
 #include <benchmark/benchmark.h>
 
 #include "circuit/generators.hpp"
+#include "exec/thread_pool.hpp"
 #include "isa/assembler.hpp"
 #include "isa/machine.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stimulus.hpp"
 #include "workloads/idea.hpp"
@@ -70,6 +73,25 @@ void BM_Assembler(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Assembler);
+
+// Stuck-at fault campaign over an adder, at the worker width given by the
+// argument (/1 = serial code path; results identical at every width).
+void BM_FaultCampaign(benchmark::State& state) {
+  lv::exec::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 12);
+  const auto vecs = lv::sim::random_vectors(
+      64, static_cast<int>(nl.primary_inputs().size()), 7);
+  for (auto _ : state) {
+    const auto r = lv::sim::fault_coverage(nl, vecs);
+    benchmark::DoNotOptimize(r.coverage);
+  }
+  state.counters["faults"] = static_cast<double>(
+      lv::sim::enumerate_faults(nl).size());
+  lv::exec::set_thread_count(0);
+}
+BENCHMARK(BM_FaultCampaign)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
+    ->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -62,6 +62,17 @@ class AnalysisContext {
   // device-model entries are reused when the point was seen before.
   void set_operating_point(const OperatingPoint& op);
 
+  // Independent copy for a parallel worker: the mutable caches (evaluated
+  // loads, memo tables) are deep-copied and the process value duplicated,
+  // while the immutable netlist — and the structure caches it owns — stay
+  // shared. A clone behaves exactly like a context freshly constructed at
+  // the same operating point (pinned by tests/analysis_context_test.cpp);
+  // set_operating_point on either side never affects the other.
+  AnalysisContext clone() const { return AnalysisContext{*this}; }
+
+  // Clones are handed to workers by value (exec::parallel_map_stateful).
+  AnalysisContext(AnalysisContext&&) = default;
+
   // Net loads evaluated at the current operating point.
   const circuit::LoadModel& loads() const { return loads_; }
 
@@ -89,6 +100,11 @@ class AnalysisContext {
   bool delay_feasible(double vt_shift = 0.0) const;
 
  private:
+  // Copying is exposed only through clone() so a by-value share is always
+  // an explicit decision (contexts are mutated by set_operating_point and
+  // silently copying one mid-sweep is almost always a bug).
+  AnalysisContext(const AnalysisContext&) = default;
+
   struct DriveParams {
     double unit_drive = 0.0;  // average N/P on-current of a unit inverter
     double fo1_cap = 0.0;     // FO1 inverter load at this supply

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/sweep_grid.hpp"
 #include "util/numeric.hpp"
 
 namespace lv::core {
@@ -33,15 +34,20 @@ RatioGrid energy_ratio_grid(const ModuleParams& module, double alpha,
   grid.fga_axis = lv::util::logspace(fga_lo, fga_hi, points);
   grid.bga_axis = lv::util::logspace(bga_lo, bga_hi, points);
   grid.log_ratio.assign(points, std::vector<double>(points, 0.0));
-  for (std::size_t b = 0; b < points; ++b) {
-    for (std::size_t f = 0; f < points; ++f) {
-      ActivityVars vars;
-      vars.fga = grid.fga_axis[f];
-      vars.bga = grid.bga_axis[b];
-      vars.alpha = alpha;
-      grid.log_ratio[b][f] = log_energy_ratio(module, vars, op);
-    }
-  }
+  // Fig. 10 grid: every cell is an independent closed-form evaluation, so
+  // fan out over the flattened (bga, fga) index space (fga fast, matching
+  // the old inner loop) and unpack into the row-major result.
+  const exec::SweepGrid sweep{grid.fga_axis, grid.bga_axis};
+  const auto cells = sweep.map<double>([&](const exec::SweepGrid::Point& p) {
+    ActivityVars vars;
+    vars.fga = p.x;
+    vars.bga = p.y;
+    vars.alpha = alpha;
+    return log_energy_ratio(module, vars, op);
+  });
+  for (std::size_t b = 0; b < points; ++b)
+    for (std::size_t f = 0; f < points; ++f)
+      grid.log_ratio[b][f] = cells[b * points + f];
   return grid;
 }
 

@@ -1,6 +1,7 @@
 #include "core/dvfs.hpp"
 
 #include "analysis/analysis_context.hpp"
+#include "exec/parallel.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
@@ -46,57 +47,99 @@ DvfsResult plan_dvfs(const circuit::Netlist& netlist,
     return est.leakage_current() * vdd;
   };
 
+  // Race-to-idle reference, computed once on the shared context (this
+  // also warms the netlist's lazy caches before the parallel section).
   const double race_delay = delay_at(race_vdd);
   const double race_rate = race_delay < 1e8 ? 1.0 / race_delay : 0.0;
   const double race_eop = energy_per_op(race_vdd, race_rate);
   const double race_idle_w = idle_leak_power(race_vdd);
 
+  // Each interval's plan (a vdd bisection plus energy evaluations) is
+  // independent of every other interval: the shared lambdas above always
+  // retarget before reading, so carried-over operating points never leak
+  // into values. Workers therefore run intervals concurrently on context
+  // clones and the energy totals are folded serially in interval order —
+  // bit-identical to the original single-threaded loop.
+  struct IntervalEval {
+    DvfsIntervalPlan plan;
+    double race_energy = 0.0;
+  };
+  const auto evals = exec::parallel_map_stateful<IntervalEval>(
+      intervals.size(), [&] { return ctx.clone(); },
+      [&](analysis::AnalysisContext& wctx, std::size_t k) {
+        const auto& interval = intervals[k];
+        u::require(interval.seconds > 0.0 && interval.required_ops >= 0.0,
+                   "plan_dvfs: bad interval");
+        const timing::Sta wsta{wctx};
+        const power::PowerEstimator west{wctx};
+        auto wretarget = [&](double vdd, double f) {
+          auto op = wctx.operating_point();
+          op.vdd = vdd;
+          op.f_clk = f;
+          wctx.set_operating_point(op);
+        };
+        auto wdelay_at = [&](double vdd) {
+          wretarget(vdd, wctx.operating_point().f_clk);
+          if (!wctx.delay_feasible()) return 1e9;
+          return wsta.run(1.0).critical_delay;
+        };
+        auto wenergy_per_op = [&](double vdd, double f) {
+          wretarget(vdd, f);
+          return west.estimate_uniform(alpha).energy_per_cycle(f);
+        };
+        auto widle_leak_power = [&](double vdd) {
+          wretarget(vdd, wctx.operating_point().f_clk);
+          return west.leakage_current() * vdd;
+        };
+
+        IntervalEval ev;
+        const double needed_rate = interval.required_ops / interval.seconds;
+
+        // --- baseline: race at race_vdd, then idle-leak the rest ---
+        if (race_rate >= needed_rate && race_rate > 0.0) {
+          const double busy_s = interval.required_ops / race_rate;
+          ev.race_energy = interval.required_ops * race_eop +
+                           (interval.seconds - busy_s) * race_idle_w;
+        } else {
+          ev.race_energy = 1e30;  // baseline cannot keep up
+        }
+
+        // --- DVFS: lowest supply whose rate covers the interval ---
+        if (needed_rate <= 0.0) {
+          // Pure idle interval: leak at the lowest feasible supply.
+          ev.plan.vdd = 0.05;
+          ev.plan.f_clk = 0.0;
+          ev.plan.energy = widle_leak_power(ev.plan.vdd) * interval.seconds;
+          ev.plan.feasible = true;
+        } else if (1.0 / wdelay_at(process.vdd_max) < needed_rate) {
+          ev.plan.feasible = false;
+        } else {
+          const double lo = 0.05;
+          double vdd = process.vdd_max;
+          if (1.0 / wdelay_at(lo) >= needed_rate) {
+            vdd = lo;
+          } else {
+            const auto solved = u::bisect(
+                [&](double v) { return 1.0 / wdelay_at(v) - needed_rate; },
+                lo, process.vdd_max, 1e-4);
+            if (solved) vdd = solved->x;
+          }
+          ev.plan.vdd = vdd;
+          ev.plan.f_clk = 1.0 / wdelay_at(vdd);
+          ev.plan.energy =
+              interval.required_ops * wenergy_per_op(vdd, ev.plan.f_clk);
+          ev.plan.feasible = true;
+        }
+        return ev;
+      });
+
   DvfsResult result;
   result.all_feasible = true;
-  for (const auto& interval : intervals) {
-    u::require(interval.seconds > 0.0 && interval.required_ops >= 0.0,
-               "plan_dvfs: bad interval");
-    DvfsIntervalPlan plan;
-    const double needed_rate = interval.required_ops / interval.seconds;
-
-    // --- baseline: race at race_vdd, then idle-leak the rest ---
-    if (race_rate >= needed_rate && race_rate > 0.0) {
-      const double busy_s = interval.required_ops / race_rate;
-      result.race_to_idle_energy +=
-          interval.required_ops * race_eop +
-          (interval.seconds - busy_s) * race_idle_w;
-    } else {
-      result.race_to_idle_energy += 1e30;  // baseline cannot keep up
-    }
-
-    // --- DVFS: lowest supply whose rate covers the interval ---
-    if (needed_rate <= 0.0) {
-      // Pure idle interval: leak at the lowest feasible supply.
-      plan.vdd = 0.05;
-      plan.f_clk = 0.0;
-      plan.energy = idle_leak_power(plan.vdd) * interval.seconds;
-      plan.feasible = true;
-    } else if (1.0 / delay_at(process.vdd_max) < needed_rate) {
-      plan.feasible = false;
-      result.all_feasible = false;
-    } else {
-      const double lo = 0.05;
-      double vdd = process.vdd_max;
-      if (1.0 / delay_at(lo) >= needed_rate) {
-        vdd = lo;
-      } else {
-        const auto solved = u::bisect(
-            [&](double v) { return 1.0 / delay_at(v) - needed_rate; }, lo,
-            process.vdd_max, 1e-4);
-        if (solved) vdd = solved->x;
-      }
-      plan.vdd = vdd;
-      plan.f_clk = 1.0 / delay_at(vdd);
-      plan.energy = interval.required_ops * energy_per_op(vdd, plan.f_clk);
-      plan.feasible = true;
-    }
-    result.total_energy += plan.feasible ? plan.energy : 0.0;
-    result.plan.push_back(plan);
+  for (const auto& ev : evals) {
+    result.race_to_idle_energy += ev.race_energy;
+    if (!ev.plan.feasible) result.all_feasible = false;
+    result.total_energy += ev.plan.feasible ? ev.plan.energy : 0.0;
+    result.plan.push_back(ev.plan);
   }
   if (result.race_to_idle_energy > 0.0 &&
       result.race_to_idle_energy < 1e29) {

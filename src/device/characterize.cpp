@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "util/error.hpp"
 #include "util/numeric.hpp"
 
@@ -13,24 +14,22 @@ std::vector<IvPoint> sweep_id_vgs(const Mosfet& device, double vds,
                                   double vgs_lo, double vgs_hi, int points,
                                   double temp_k) {
   u::require(points >= 2, "sweep_id_vgs: need >= 2 points");
-  std::vector<IvPoint> out;
-  out.reserve(static_cast<std::size_t>(points));
-  for (const double vgs :
-       u::linspace(vgs_lo, vgs_hi, static_cast<std::size_t>(points)))
-    out.push_back({vgs, device.drain_current(vgs, vds, 0.0, temp_k)});
-  return out;
+  // drain_current is a pure model evaluation, so the I-V points fan out
+  // across the exec pool; slot k holds grid point k.
+  const auto xs = u::linspace(vgs_lo, vgs_hi, static_cast<std::size_t>(points));
+  return exec::parallel_map<IvPoint>(xs.size(), [&](std::size_t k) {
+    return IvPoint{xs[k], device.drain_current(xs[k], vds, 0.0, temp_k)};
+  });
 }
 
 std::vector<IvPoint> sweep_id_vds(const Mosfet& device, double vgs,
                                   double vds_lo, double vds_hi, int points,
                                   double temp_k) {
   u::require(points >= 2, "sweep_id_vds: need >= 2 points");
-  std::vector<IvPoint> out;
-  out.reserve(static_cast<std::size_t>(points));
-  for (const double vds :
-       u::linspace(vds_lo, vds_hi, static_cast<std::size_t>(points)))
-    out.push_back({vds, device.drain_current(vgs, vds, 0.0, temp_k)});
-  return out;
+  const auto xs = u::linspace(vds_lo, vds_hi, static_cast<std::size_t>(points));
+  return exec::parallel_map<IvPoint>(xs.size(), [&](std::size_t k) {
+    return IvPoint{xs[k], device.drain_current(vgs, xs[k], 0.0, temp_k)};
+  });
 }
 
 namespace {

@@ -1,0 +1,180 @@
+// Deterministic parallel loop primitives.
+//
+// Every sweep and campaign loop in the toolkit funnels through these
+// three shapes:
+//
+//   parallel_for(n, fn)                 — fn(i) for i in [0, n)
+//   parallel_map<T>(n, fn)              — out[i] = fn(i)
+//   parallel_map_stateful<T>(n, mk, fn) — out[i] = fn(state, i), one
+//                                         `mk()` state per worker (used
+//                                         for AnalysisContext clones and
+//                                         per-worker simulators)
+//
+// plus parallel_sum, the ordered-reduction helper.
+//
+// Determinism contract: results are written into per-index slots and all
+// reductions fold in serial index order on the calling thread, so output
+// is bit-identical to the serial loop at any thread count. That rules out
+// chunk-partial floating-point sums (addition is not associative);
+// parallel_sum therefore materializes every term and accumulates them
+// 0..n-1 exactly as the serial loop would. Chunked scheduling (workers
+// claim contiguous index ranges from an atomic cursor) affects only which
+// thread computes a slot, never its value.
+//
+// Exceptions: every index is attempted even when one throws; afterwards
+// the exception from the *lowest* failing index is rethrown, so the
+// error a caller observes is also independent of the thread count.
+//
+// Nested calls (a parallel body invoking another primitive) run serially
+// inline on the worker — correct, deterministic, no pool deadlock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace lv::exec {
+
+struct ParallelOptions {
+  // Worker width for this call; 0 = the global exec::thread_count().
+  std::size_t threads = 0;
+  // Indices claimed per scheduling step; 0 = auto (~4 chunks per worker).
+  // Chunking trades scheduling overhead against load balance and never
+  // affects results.
+  std::size_t chunk = 0;
+};
+
+namespace detail {
+
+struct NoState {};
+
+inline std::size_t resolve_width(std::size_t n, const ParallelOptions& opt) {
+  if (n <= 1 || on_worker_thread()) return 1;
+  std::size_t width = opt.threads != 0 ? opt.threads : thread_count();
+  if (width == 0) width = 1;
+  return width < n ? width : n;
+}
+
+inline std::size_t resolve_chunk(std::size_t n, std::size_t width,
+                                 std::size_t chunk) {
+  if (chunk != 0) return chunk;
+  return n / (4 * width) + 1;
+}
+
+// Shared driver: fn(state, i) over [0, n) with one make() state per
+// participating worker. Implements the determinism and exception
+// contracts documented at the top of this header.
+template <class MakeState, class Fn>
+void drive(std::size_t n, const ParallelOptions& opt, MakeState&& make,
+           Fn&& fn) {
+  if (n == 0) return;
+  std::size_t err_index = n;
+  std::exception_ptr err;
+  const std::size_t width = resolve_width(n, opt);
+  if (width == 1) {
+    std::optional<std::decay_t<decltype(make())>> state;
+    state.emplace(make());  // a failing make() propagates directly
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(*state, i);
+      } catch (...) {
+        if (i < err_index) {
+          err_index = i;
+          err = std::current_exception();
+        }
+      }
+    }
+  } else {
+    const std::size_t chunk = resolve_chunk(n, width, opt.chunk);
+    std::atomic<std::size_t> cursor{0};
+    std::mutex err_mu;
+    ThreadPool::pool().run(width, [&](std::size_t) {
+      std::optional<std::decay_t<decltype(make())>> state;
+      for (;;) {
+        const std::size_t begin =
+            cursor.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = begin + chunk < n ? begin + chunk : n;
+        if (!state) {
+          try {
+            state.emplace(make());
+          } catch (...) {
+            std::lock_guard<std::mutex> lock{err_mu};
+            if (begin < err_index) {
+              err_index = begin;
+              err = std::current_exception();
+            }
+            return;
+          }
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            fn(*state, i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock{err_mu};
+            if (i < err_index) {
+              err_index = i;
+              err = std::current_exception();
+            }
+          }
+        }
+      }
+    });
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace detail
+
+template <class Fn>
+void parallel_for(std::size_t n, Fn&& fn, const ParallelOptions& opt = {}) {
+  detail::drive(
+      n, opt, [] { return detail::NoState{}; },
+      [&](detail::NoState&, std::size_t i) { fn(i); });
+}
+
+// T must be default-constructible (slots are pre-allocated).
+template <class T, class Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn,
+                            const ParallelOptions& opt = {}) {
+  std::vector<T> out(n);
+  detail::drive(
+      n, opt, [] { return detail::NoState{}; },
+      [&](detail::NoState&, std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+// Per-worker state: `make()` runs at most once per participating worker
+// (on that worker's thread, before its first index); fn(state, i) may
+// mutate it freely. Results must depend only on i, not on which indices
+// the state served before — AnalysisContext clones qualify because their
+// memo caches return bit-identical values whether recomputed or reused.
+template <class T, class MakeState, class Fn>
+std::vector<T> parallel_map_stateful(std::size_t n, MakeState&& make,
+                                     Fn&& fn,
+                                     const ParallelOptions& opt = {}) {
+  std::vector<T> out(n);
+  detail::drive(n, opt, std::forward<MakeState>(make),
+                [&](auto& state, std::size_t i) { out[i] = fn(state, i); });
+  return out;
+}
+
+// Ordered reduction: sum of fn(i) over [0, n), folded in index order on
+// the calling thread — bit-identical to `for (i) acc += fn(i)` at any
+// thread count.
+template <class Fn>
+double parallel_sum(std::size_t n, Fn&& fn, const ParallelOptions& opt = {}) {
+  const auto terms = parallel_map<double>(n, std::forward<Fn>(fn), opt);
+  double acc = 0.0;
+  for (const double term : terms) acc += term;
+  return acc;
+}
+
+}  // namespace lv::exec

@@ -1,0 +1,23 @@
+#include "exec/rng_split.hpp"
+
+namespace lv::exec {
+
+std::vector<util::Xoshiro256> split_streams(std::uint64_t seed,
+                                            std::size_t count) {
+  std::vector<util::Xoshiro256> streams;
+  streams.reserve(count);
+  util::Xoshiro256 base{seed};
+  for (std::size_t k = 0; k < count; ++k) {
+    streams.push_back(base);
+    base.jump();
+  }
+  return streams;
+}
+
+util::Xoshiro256 stream_for_task(std::uint64_t seed, std::size_t task) {
+  util::Xoshiro256 rng{seed};
+  for (std::size_t k = 0; k < task; ++k) rng.jump();
+  return rng;
+}
+
+}  // namespace lv::exec

@@ -1,0 +1,26 @@
+// Deterministic per-task RNG splitting.
+//
+// Parallel campaigns that draw stochastic stimulus must not share one
+// generator (a data race, and the draw order would depend on scheduling).
+// Stream k here is the seed's base generator advanced by k * 2^128 steps
+// via Xoshiro256::jump(), so streams are non-overlapping and stream k is
+// the same sequence no matter how many tasks exist or how many threads
+// execute them — task i always consumes stream i.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace lv::exec {
+
+// Streams 0..count-1 for one parallel region, in task order.
+std::vector<util::Xoshiro256> split_streams(std::uint64_t seed,
+                                            std::size_t count);
+
+// Stream `task` alone (O(task) jumps; prefer split_streams for a batch).
+util::Xoshiro256 stream_for_task(std::uint64_t seed, std::size_t task);
+
+}  // namespace lv::exec

@@ -1,0 +1,28 @@
+#include "exec/sweep_grid.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/numeric.hpp"
+
+namespace lv::exec {
+
+SweepGrid::SweepGrid(std::vector<double> xs) : xs_{std::move(xs)} {
+  lv::util::require(!xs_.empty(), "SweepGrid: empty x axis");
+}
+
+SweepGrid::SweepGrid(std::vector<double> xs, std::vector<double> ys)
+    : xs_{std::move(xs)}, ys_{std::move(ys)}, two_d_{true} {
+  lv::util::require(!xs_.empty() && !ys_.empty(),
+                    "SweepGrid: empty grid axis");
+}
+
+SweepGrid SweepGrid::linear(double lo, double hi, std::size_t n) {
+  return SweepGrid{lv::util::linspace(lo, hi, n)};
+}
+
+SweepGrid SweepGrid::logarithmic(double lo, double hi, std::size_t n) {
+  return SweepGrid{lv::util::logspace(lo, hi, n)};
+}
+
+}  // namespace lv::exec

@@ -1,0 +1,57 @@
+// Lazily-started worker pool behind the lv::exec parallel primitives.
+//
+// One process-wide pool serves every sweep and campaign loop in the
+// toolkit. Threads are created on the first parallel call that actually
+// needs them (a `--threads 1` run never spawns any), grow on demand up to
+// the configured width, and idle between calls. The pool moves *work*,
+// never *results*: the primitives in exec/parallel.hpp write each task's
+// output into a caller-owned slot keyed by task index and fold reductions
+// in serial index order, which is what makes parallel output bit-identical
+// to the serial loop at any thread count.
+//
+// Width resolution, in priority order: set_thread_count() (the CLI
+// `--threads N` knob lands here), the LVSIM_THREADS environment variable,
+// then std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace lv::exec {
+
+// Effective worker width for the next parallel region (>= 1).
+std::size_t thread_count();
+
+// Overrides the width; 0 restores the LVSIM_THREADS/hardware default.
+// Existing pool threads are kept (idle workers are cheap); a smaller
+// width simply leaves them unscheduled.
+void set_thread_count(std::size_t n);
+
+// True while the calling thread is executing a pool task. Parallel
+// primitives called from inside a task run serially inline, so nested
+// parallelism degrades gracefully instead of deadlocking the pool.
+bool on_worker_thread();
+
+class ThreadPool {
+ public:
+  static ThreadPool& pool();
+
+  // Invokes task(worker_id) concurrently from `width` workers, with
+  // worker 0 being the calling thread; blocks until every worker
+  // returns. `task` must not throw (the parallel primitives capture
+  // exceptions per index before they reach the pool) and must not call
+  // run() again from a worker (guarded by on_worker_thread()).
+  void run(std::size_t width, const std::function<void(std::size_t)>& task);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace lv::exec

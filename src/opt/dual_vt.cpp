@@ -5,6 +5,7 @@
 
 #include "analysis/analysis_context.hpp"
 #include "device/stack.hpp"
+#include "exec/parallel.hpp"
 #include "util/error.hpp"
 #include "util/numeric.hpp"
 
@@ -21,17 +22,19 @@ double total_leakage(const circuit::Netlist& netlist,
   // Average of N and P network off-currents per instance, weighted by the
   // catalog widths; consistent with PowerEstimator's state averaging but
   // kept local so lv_opt does not depend on activity statistics.
-  double total = 0.0;
-  for (InstanceId i = 0; i < netlist.instance_count(); ++i) {
+  // Per-instance terms are pure device-model evaluations; parallel_sum
+  // folds them in instance order, matching the serial accumulation bit
+  // for bit.
+  return exec::parallel_sum(netlist.instance_count(), [&](std::size_t idx) {
+    const auto i = static_cast<InstanceId>(idx);
     const auto& info = circuit::cell_info(netlist.instance(i).kind);
     const auto n = process.make_nmos(1.0, shifts[i]);
     const auto p = process.make_pmos(1.0, shifts[i]);
-    total += 0.5 * (n.off_current(vdd, 0.0, process.temp_k) *
-                        info.n_width_total / info.n_stack +
-                    p.off_current(vdd, 0.0, process.temp_k) *
-                        info.p_width_total / info.p_stack);
-  }
-  return total;
+    return 0.5 * (n.off_current(vdd, 0.0, process.temp_k) *
+                      info.n_width_total / info.n_stack +
+                  p.off_current(vdd, 0.0, process.temp_k) *
+                      info.p_width_total / info.p_stack);
+  });
 }
 
 }  // namespace
@@ -81,7 +84,25 @@ DualVtResult assign_dual_vt(const circuit::Netlist& netlist,
     // Revert the whole batch, then retry its members one by one so a
     // single bad gate does not block the rest.
     for (const InstanceId i : pending) shifts[i] = 0.0;
-    for (const InstanceId i : pending) {
+    // Parallel prefilter: STA delay is monotone non-decreasing in the VT
+    // shifts, so a candidate that misses the period *alone* against the
+    // committed baseline also misses it in the accumulated serial retry
+    // below. Rejecting those in parallel and replaying only the
+    // survivors serially (in order, with accumulation) makes the same
+    // decisions as the all-serial retry, bit for bit.
+    const auto alone_ok = exec::parallel_map_stateful<char>(
+        pending.size(), [&] { return ctx.clone(); },
+        [&](analysis::AnalysisContext& wctx, std::size_t k) {
+          std::vector<double> local = shifts;
+          local[pending[k]] = process.high_vt_offset;
+          const timing::Sta wsta{wctx};
+          const auto single = wsta.run(result.clock_period, local);
+          return static_cast<char>(single.critical_delay <=
+                                   result.clock_period);
+        });
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      if (!alone_ok[k]) continue;
+      const InstanceId i = pending[k];
       shifts[i] = process.high_vt_offset;
       const auto single = sta.run(result.clock_period, shifts);
       if (single.critical_delay <= result.clock_period) {

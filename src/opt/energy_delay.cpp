@@ -1,6 +1,7 @@
 #include "opt/energy_delay.hpp"
 
 #include "analysis/analysis_context.hpp"
+#include "exec/sweep_grid.hpp"
 #include "power/estimator.hpp"
 #include "timing/sta.hpp"
 #include "util/error.hpp"
@@ -19,38 +20,38 @@ EnergyDelayResult explore_energy_delay(const circuit::Netlist& netlist,
              "explore_energy_delay: bad vdd range");
   u::require(points >= 2, "explore_energy_delay: need >= 2 points");
 
-  // Shared context: the sweep retargets one set of structure caches
-  // instead of rebuilding STA + power estimation at every supply.
-  analysis::AnalysisContext ctx{netlist, process,
-                                {.vdd = vdd_lo, .temp_k = process.temp_k}};
-  const timing::Sta sta{ctx};
-  const power::PowerEstimator est{ctx};
+  // Prototype context: each worker gets a clone() so set_operating_point
+  // and the memo caches stay thread-private; the netlist's structure
+  // caches are shared read-only (map_with_context warms them first).
+  const analysis::AnalysisContext proto{
+      netlist, process, {.vdd = vdd_lo, .temp_k = process.temp_k}};
 
+  const exec::SweepGrid grid{
+      u::linspace(vdd_lo, vdd_hi, static_cast<std::size_t>(points))};
   EnergyDelayResult result;
-  for (const double vdd :
-       u::linspace(vdd_lo, vdd_hi, static_cast<std::size_t>(points))) {
-    EnergyDelayPoint pt;
-    pt.vdd = vdd;
-    auto op = ctx.operating_point();
-    op.vdd = vdd;
-    ctx.set_operating_point(op);
-    if (!ctx.delay_feasible()) {
-      result.sweep.push_back(pt);
-      continue;
-    }
-    const auto timed = sta.run(1.0);
-    pt.delay = timed.critical_delay;
-    if (pt.delay <= 0.0) {
-      result.sweep.push_back(pt);
-      continue;
-    }
-    op.f_clk = 1.0 / pt.delay;
-    ctx.set_operating_point(op);
-    pt.energy = est.estimate_uniform(alpha).energy_per_cycle(op.f_clk);
-    pt.edp = pt.energy * pt.delay;
-    pt.feasible = true;
-    result.sweep.push_back(pt);
-  }
+  result.sweep = grid.map_with_context<EnergyDelayPoint>(
+      proto,
+      [&](analysis::AnalysisContext& ctx, const exec::SweepGrid::Point& p) {
+        EnergyDelayPoint pt;
+        pt.vdd = p.x;
+        auto op = ctx.operating_point();
+        op.vdd = p.x;
+        ctx.set_operating_point(op);
+        if (!ctx.delay_feasible()) return pt;
+        // Sta/PowerEstimator only hold a pointer to ctx; constructing them
+        // per point is cheap and keeps them bound to this worker's clone.
+        const timing::Sta sta{ctx};
+        const auto timed = sta.run(1.0);
+        pt.delay = timed.critical_delay;
+        if (pt.delay <= 0.0) return pt;
+        op.f_clk = 1.0 / pt.delay;
+        ctx.set_operating_point(op);
+        const power::PowerEstimator est{ctx};
+        pt.energy = est.estimate_uniform(alpha).energy_per_cycle(op.f_clk);
+        pt.edp = pt.energy * pt.delay;
+        pt.feasible = true;
+        return pt;
+      });
 
   for (const auto& pt : result.sweep) {
     if (!pt.feasible) continue;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "exec/parallel.hpp"
 #include "util/numeric.hpp"
 
 namespace lv::opt {
@@ -37,6 +38,17 @@ std::optional<double> iso_delay_vdd(const tech::Process& process,
   return solved->x;
 }
 
+std::vector<std::optional<double>> iso_delay_curve(
+    const tech::Process& process, const timing::RingOscillator& ring,
+    const std::vector<double>& vts, double target_stage_delay) {
+  // Each point is an independent bisection over pure device-model
+  // evaluations, so the curve parallelizes without shared state.
+  return exec::parallel_map<std::optional<double>>(
+      vts.size(), [&](std::size_t k) {
+        return iso_delay_vdd(process, ring, vts[k], target_stage_delay);
+      });
+}
+
 EnergyPoint ring_energy_at_vt(const tech::Process& process,
                               const timing::RingOscillator& ring, double vt,
                               double f_clk, double activity) {
@@ -64,9 +76,13 @@ VtSweepResult optimize_vt(const tech::Process& process,
                           int points) {
   VtSweepResult result;
   const auto vts = u::linspace(vt_lo, vt_hi, static_cast<std::size_t>(points));
-  for (const double vt : vts)
-    result.sweep.push_back(
-        ring_energy_at_vt(process, ring, vt, f_clk, activity));
+  // Fig. 4 grid: one independent iso-delay solve + energy evaluation per
+  // threshold, fanned across the exec pool; slot k is point k, so the
+  // sweep vector is bit-identical to the serial loop.
+  result.sweep = exec::parallel_map<EnergyPoint>(
+      vts.size(), [&](std::size_t k) {
+        return ring_energy_at_vt(process, ring, vts[k], f_clk, activity);
+      });
 
   // Refine around the best feasible grid point.
   const EnergyPoint* best = nullptr;

@@ -27,6 +27,13 @@ std::optional<double> iso_delay_vdd(const tech::Process& process,
                                     const timing::RingOscillator& ring,
                                     double vt, double target_stage_delay);
 
+// The Fig. 3 curve in one call: iso_delay_vdd at every threshold in
+// `vts`, solved across the exec worker pool. Entry k corresponds to
+// vts[k]; results are bit-identical to calling iso_delay_vdd serially.
+std::vector<std::optional<double>> iso_delay_curve(
+    const tech::Process& process, const timing::RingOscillator& ring,
+    const std::vector<double>& vts, double target_stage_delay);
+
 struct EnergyPoint {
   double vt = 0.0;                // absolute NMOS threshold [V]
   double vdd = 0.0;               // solved supply [V]

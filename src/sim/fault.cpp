@@ -1,5 +1,6 @@
 #include "sim/fault.hpp"
 
+#include "exec/parallel.hpp"
 #include "util/error.hpp"
 
 namespace lv::sim {
@@ -92,19 +93,28 @@ CoverageResult fault_coverage(const circuit::Netlist& netlist,
   CoverageResult result;
   const auto faults = enumerate_faults(netlist);
   result.total_faults = faults.size();
-  for (const Fault& fault : faults) {
-    FaultySimulator bad{netlist, fault};
-    bool detected = false;
-    for (std::size_t i = 0; i < vectors.size() && !detected; ++i) {
-      bad.set_bus(inputs, vectors[i]);
-      bad.settle();
-      std::uint64_t out = 0;
-      if (!bad.read_bus(outputs, out) || out != golden[i]) detected = true;
-    }
-    if (detected)
+  // The campaign is embarrassingly parallel: each fault machine is a
+  // fresh FaultySimulator over the shared (const, cache-warm from the
+  // golden pass) netlist. Verdicts land in per-fault slots and the
+  // detected/undetected tallies fold serially in fault order, so the
+  // result is identical at any thread count.
+  const auto verdicts = exec::parallel_map<char>(
+      faults.size(), [&](std::size_t k) {
+        FaultySimulator bad{netlist, faults[k]};
+        for (std::size_t i = 0; i < vectors.size(); ++i) {
+          bad.set_bus(inputs, vectors[i]);
+          bad.settle();
+          std::uint64_t out = 0;
+          if (!bad.read_bus(outputs, out) || out != golden[i])
+            return char{1};
+        }
+        return char{0};
+      });
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    if (verdicts[k])
       ++result.detected;
     else
-      result.undetected.push_back(fault);
+      result.undetected.push_back(faults[k]);
   }
   result.coverage =
       result.total_faults == 0

@@ -22,6 +22,11 @@ class Xoshiro256 {
   // Uniform 32-bit value.
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
 
+  // Advances the state by 2^128 steps (the canonical xoshiro256 jump
+  // polynomial). Copy-then-jump carves one seed into non-overlapping
+  // streams for parallel tasks (see exec/rng_split.hpp).
+  void jump();
+
  private:
   std::uint64_t s_[4];
 };

@@ -210,6 +210,41 @@ TEST(AnalysisContext, DelayPrimitivesMatchDelayModel) {
   }
 }
 
+TEST(AnalysisContext, CloneMatchesFreshConstructionAndIsIndependent) {
+  const auto nl = mixed_netlist();
+  const auto tech = lv::tech::soi_low_vt();
+  a::AnalysisContext ctx{nl, tech, {.vdd = 0.9}};
+  // Warm the memo caches so the clone copies non-trivial state.
+  ctx.cell_leakage();
+  ctx.stack_factors();
+  ctx.inverter_fo1_delay();
+
+  a::AnalysisContext cloned = ctx.clone();
+  EXPECT_EQ(&cloned.netlist(), &ctx.netlist());  // netlist is shared
+
+  for (const auto& op : grid()) {
+    cloned.set_operating_point(op);
+    const a::AnalysisContext fresh{nl, tech, op};
+    // Exact equality: a clone must behave like a context freshly
+    // constructed at the same point, bit for bit.
+    for (c::NetId n = 0; n < nl.net_count(); ++n)
+      ASSERT_EQ(cloned.loads().net_load(n), fresh.loads().net_load(n));
+    const auto& got_leak = cloned.cell_leakage(0.05);
+    const auto& want_leak = fresh.cell_leakage(0.05);
+    ASSERT_EQ(got_leak, want_leak);
+    EXPECT_EQ(cloned.unit_drive_current(0.1), fresh.unit_drive_current(0.1));
+    EXPECT_EQ(cloned.inverter_fo1_delay(), fresh.inverter_fo1_delay());
+    const t::Sta got_sta{cloned};
+    const t::Sta want_sta{fresh};
+    EXPECT_EQ(got_sta.run(1e-9).critical_delay,
+              want_sta.run(1e-9).critical_delay);
+  }
+
+  // Retargeting the clone never moved the original.
+  EXPECT_EQ(ctx.operating_point().vdd, 0.9);
+  EXPECT_EQ(ctx.loads().vdd(), 0.9);
+}
+
 TEST(AnalysisContext, ModuleQueriesSurviveRetarget) {
   lv::circuit::Netlist nl;
   c::build_ripple_carry_adder(nl, 8);

@@ -1,0 +1,367 @@
+// Determinism contract of the lv::exec layer: every parallelized sweep
+// and campaign must produce output *bit-identical* to its serial loop at
+// any thread count. These tests run the real figure pipelines (Fig. 3
+// iso-delay curve, Fig. 4 V_T sweep, Fig. 10 energy-ratio grid, the
+// energy-delay exploration, dual-VT assignment, the fault campaign) at
+// widths {1, 2, 8} and compare with operator== on the doubles — no
+// tolerance, since the layer's whole point is exact equivalence.
+//
+// Also pinned: the primitive-level contracts — per-index slots, ordered
+// reduction, lowest-index exception rethrow, empty ranges, nested calls
+// running inline, SweepGrid indexing, and RNG stream splitting.
+#include "exec/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/generators.hpp"
+#include "core/comparison.hpp"
+#include "device/characterize.hpp"
+#include "exec/rng_split.hpp"
+#include "exec/sweep_grid.hpp"
+#include "exec/thread_pool.hpp"
+#include "opt/dual_vt.hpp"
+#include "opt/energy_delay.hpp"
+#include "opt/voltage_opt.hpp"
+#include "sim/fault.hpp"
+#include "sim/stimulus.hpp"
+#include "util/numeric.hpp"
+
+namespace e = lv::exec;
+
+namespace {
+
+// Evaluates `fn` at widths 1, 2, and 8 and checks every result against
+// the width-1 (serial code path) reference with the caller's comparator.
+template <class Fn, class Eq>
+void expect_same_at_all_widths(Fn&& fn, Eq&& eq) {
+  e::set_thread_count(1);
+  const auto reference = fn();
+  for (const std::size_t width : {std::size_t{2}, std::size_t{8}}) {
+    e::set_thread_count(width);
+    const auto got = fn();
+    eq(reference, got, width);
+  }
+  e::set_thread_count(0);  // restore the default for other tests
+}
+
+// ---- primitive contracts ----------------------------------------------
+
+TEST(ParallelPrimitives, MapFillsEverySlotInIndexOrder) {
+  for (const std::size_t width : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}}) {
+    const auto out = e::parallel_map<double>(
+        1000, [](std::size_t i) { return std::sqrt(static_cast<double>(i)); },
+        {.threads = width});
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], std::sqrt(static_cast<double>(i)));
+  }
+}
+
+TEST(ParallelPrimitives, SumFoldsInSerialOrder) {
+  // Terms chosen so floating-point addition order matters: a serial fold
+  // and any chunk-partial fold differ in the last bits.
+  auto term = [](std::size_t i) {
+    return 1.0 / (static_cast<double>(i) + 1.0) * (i % 2 == 0 ? 1.0 : -1e-8);
+  };
+  double serial = 0.0;
+  for (std::size_t i = 0; i < 5000; ++i) serial += term(i);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+    EXPECT_EQ(e::parallel_sum(5000, term, {.threads = width}), serial)
+        << "width " << width;
+  }
+}
+
+TEST(ParallelPrimitives, EmptyAndSingletonRanges) {
+  EXPECT_TRUE(e::parallel_map<int>(0, [](std::size_t) { return 1; }).empty());
+  e::parallel_for(0, [](std::size_t) { FAIL() << "body ran on empty range"; });
+  EXPECT_EQ(e::parallel_sum(0, [](std::size_t) { return 1.0; }), 0.0);
+  const auto one =
+      e::parallel_map<int>(1, [](std::size_t) { return 41; }, {.threads = 8});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41);
+}
+
+TEST(ParallelPrimitives, LowestFailingIndexExceptionWins) {
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+    std::atomic<int> attempted{0};
+    try {
+      e::parallel_for(
+          100,
+          [&](std::size_t i) {
+            attempted.fetch_add(1, std::memory_order_relaxed);
+            if (i == 17 || i == 63)
+              throw std::runtime_error("boom at " + std::to_string(i));
+          },
+          {.threads = width});
+      FAIL() << "expected a throw at width " << width;
+    } catch (const std::runtime_error& err) {
+      EXPECT_STREQ(err.what(), "boom at 17") << "width " << width;
+    }
+    // Every index is attempted even after a throw.
+    EXPECT_EQ(attempted.load(), 100) << "width " << width;
+  }
+}
+
+TEST(ParallelPrimitives, NestedCallsRunInlineSerially) {
+  // Inner parallel_map from a worker must not re-enter the pool; it runs
+  // on the worker thread and still produces correct slots.
+  const auto out = e::parallel_map<double>(
+      16,
+      [](std::size_t i) {
+        const bool outer_on_worker = e::on_worker_thread();
+        const auto inner = e::parallel_map<double>(
+            8,
+            [&](std::size_t j) {
+              // At width > 1, outer bodies may run on pool workers; the
+              // nested region must stay on that same thread.
+              EXPECT_EQ(e::on_worker_thread(), outer_on_worker);
+              return static_cast<double>(i * 8 + j);
+            },
+            {.threads = 8});
+        double acc = 0.0;
+        for (const double v : inner) acc += v;
+        return acc;
+      },
+      {.threads = 8});
+  for (std::size_t i = 0; i < 16; ++i) {
+    double expect = 0.0;
+    for (std::size_t j = 0; j < 8; ++j)
+      expect += static_cast<double>(i * 8 + j);
+    EXPECT_EQ(out[i], expect);
+  }
+}
+
+TEST(ParallelPrimitives, StatefulMakeRunsPerWorkerAndStatePersists) {
+  std::atomic<int> makes{0};
+  const auto out = e::parallel_map_stateful<int>(
+      64,
+      [&] {
+        makes.fetch_add(1, std::memory_order_relaxed);
+        return std::vector<int>{};  // per-worker scratch
+      },
+      [](std::vector<int>& scratch, std::size_t i) {
+        scratch.push_back(static_cast<int>(i));
+        return static_cast<int>(i) * 2;
+      },
+      {.threads = 4});
+  EXPECT_LE(makes.load(), 4);
+  EXPECT_GE(makes.load(), 1);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+}
+
+TEST(ThreadPoolConfig, SetThreadCountOverridesAndZeroRestores) {
+  e::set_thread_count(3);
+  EXPECT_EQ(e::thread_count(), 3u);
+  e::set_thread_count(0);
+  EXPECT_GE(e::thread_count(), 1u);
+}
+
+// ---- SweepGrid --------------------------------------------------------
+
+TEST(SweepGrid, OneDimensionalIndexing) {
+  const e::SweepGrid grid = e::SweepGrid::linear(0.0, 1.0, 5);
+  EXPECT_FALSE(grid.is_2d());
+  ASSERT_EQ(grid.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto p = grid.at(i);
+    EXPECT_EQ(p.index, i);
+    EXPECT_EQ(p.ix, i);
+    EXPECT_EQ(p.iy, 0u);
+    EXPECT_EQ(p.x, grid.x_axis()[i]);
+    EXPECT_EQ(p.y, 0.0);
+  }
+}
+
+TEST(SweepGrid, TwoDimensionalRowMajorFastX) {
+  const e::SweepGrid grid{{1.0, 2.0, 3.0}, {10.0, 20.0}};
+  EXPECT_TRUE(grid.is_2d());
+  ASSERT_EQ(grid.size(), 6u);
+  // Row-major: y outer, x fast.
+  const std::size_t want_ix[] = {0, 1, 2, 0, 1, 2};
+  const std::size_t want_iy[] = {0, 0, 0, 1, 1, 1};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto p = grid.at(i);
+    EXPECT_EQ(p.ix, want_ix[i]);
+    EXPECT_EQ(p.iy, want_iy[i]);
+    EXPECT_EQ(p.x, grid.x_axis()[p.ix]);
+    EXPECT_EQ(p.y, grid.y_axis()[p.iy]);
+  }
+}
+
+TEST(SweepGrid, LogarithmicAxisMatchesLogspace) {
+  const auto grid = e::SweepGrid::logarithmic(1e-5, 1.0, 11);
+  const auto want = lv::util::logspace(1e-5, 1.0, 11);
+  ASSERT_EQ(grid.x_axis().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(grid.x_axis()[i], want[i]);
+}
+
+// ---- RNG splitting ----------------------------------------------------
+
+TEST(RngSplit, StreamsAreDeterministicAndWidthIndependent) {
+  auto streams_a = e::split_streams(1234, 6);
+  auto streams_b = e::split_streams(1234, 6);
+  ASSERT_EQ(streams_a.size(), 6u);
+  for (std::size_t k = 0; k < 6; ++k)
+    for (int draw = 0; draw < 16; ++draw)
+      EXPECT_EQ(streams_a[k].next_u64(), streams_b[k].next_u64());
+  // stream_for_task(k) equals split_streams(...)[k].
+  auto streams_c = e::split_streams(99, 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    auto solo = e::stream_for_task(99, k);
+    for (int draw = 0; draw < 16; ++draw)
+      EXPECT_EQ(solo.next_u64(), streams_c[k].next_u64());
+  }
+}
+
+TEST(RngSplit, StreamsDiffer) {
+  auto streams = e::split_streams(42, 3);
+  EXPECT_NE(streams[0].next_u64(), streams[1].next_u64());
+  EXPECT_NE(streams[1].next_u64(), streams[2].next_u64());
+}
+
+// ---- figure pipelines: bit-identical across widths --------------------
+
+TEST(SweepDeterminism, Fig3IsoDelayCurve) {
+  const auto tech = lv::tech::soi_low_vt();
+  const lv::timing::RingOscillator ring{101};
+  const auto vts = lv::util::linspace(0.05, 0.50, 19);
+  expect_same_at_all_widths(
+      [&] { return lv::opt::iso_delay_curve(tech, ring, vts, 120e-12); },
+      [](const auto& ref, const auto& got, std::size_t width) {
+        ASSERT_EQ(ref.size(), got.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          ASSERT_EQ(ref[i].has_value(), got[i].has_value()) << width;
+          if (ref[i]) {
+            EXPECT_EQ(*ref[i], *got[i]) << "width " << width;
+          }
+        }
+      });
+}
+
+TEST(SweepDeterminism, Fig4VtSweep) {
+  const auto tech = lv::tech::soi_low_vt();
+  const lv::timing::RingOscillator ring{101};
+  expect_same_at_all_widths(
+      [&] {
+        return lv::opt::optimize_vt(tech, ring, 5e6, 1.0, 0.05, 0.55, 21);
+      },
+      [](const auto& ref, const auto& got, std::size_t width) {
+        ASSERT_EQ(ref.sweep.size(), got.sweep.size());
+        for (std::size_t i = 0; i < ref.sweep.size(); ++i) {
+          EXPECT_EQ(ref.sweep[i].vdd, got.sweep[i].vdd) << width;
+          EXPECT_EQ(ref.sweep[i].total_energy, got.sweep[i].total_energy)
+              << width;
+          EXPECT_EQ(ref.sweep[i].feasible, got.sweep[i].feasible) << width;
+        }
+        EXPECT_EQ(ref.optimum.vt, got.optimum.vt) << width;
+        EXPECT_EQ(ref.optimum.total_energy, got.optimum.total_energy)
+            << width;
+      });
+}
+
+TEST(SweepDeterminism, Fig10EnergyRatioGrid) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  const auto tech = lv::tech::soias();
+  const lv::core::BurstOperatingPoint op{1.0, tech.backgate_swing, 50e6,
+                                         1.0};
+  const auto mod =
+      lv::core::module_params_from_netlist(nl, tech, op.vdd, "adder");
+  expect_same_at_all_widths(
+      [&] {
+        return lv::core::energy_ratio_grid(mod, 0.3, op, 1e-5, 1.0, 1e-5,
+                                           1.0, 17);
+      },
+      [](const auto& ref, const auto& got, std::size_t width) {
+        ASSERT_EQ(ref.log_ratio.size(), got.log_ratio.size());
+        for (std::size_t b = 0; b < ref.log_ratio.size(); ++b)
+          for (std::size_t f = 0; f < ref.log_ratio[b].size(); ++f)
+            EXPECT_EQ(ref.log_ratio[b][f], got.log_ratio[b][f])
+                << "width " << width << " cell (" << b << "," << f << ")";
+      });
+}
+
+TEST(SweepDeterminism, EnergyDelayExploration) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_carry_lookahead_adder(nl, 8);
+  const auto tech = lv::tech::soi_low_vt();
+  expect_same_at_all_widths(
+      [&] {
+        return lv::opt::explore_energy_delay(nl, tech, 0.3, 0.5, 1.5, 13);
+      },
+      [](const auto& ref, const auto& got, std::size_t width) {
+        ASSERT_EQ(ref.sweep.size(), got.sweep.size());
+        for (std::size_t i = 0; i < ref.sweep.size(); ++i) {
+          EXPECT_EQ(ref.sweep[i].delay, got.sweep[i].delay) << width;
+          EXPECT_EQ(ref.sweep[i].energy, got.sweep[i].energy) << width;
+          EXPECT_EQ(ref.sweep[i].feasible, got.sweep[i].feasible) << width;
+        }
+        EXPECT_EQ(ref.min_edp.vdd, got.min_edp.vdd) << width;
+        EXPECT_EQ(ref.min_ed2.vdd, got.min_ed2.vdd) << width;
+      });
+}
+
+TEST(SweepDeterminism, DualVtAssignmentWithBatchRetry) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  const auto tech = lv::tech::dual_vt_mtcmos();
+  // A tight margin with a large batch forces the commit to fail and the
+  // one-by-one retry (the parallel-prefiltered path) to run.
+  expect_same_at_all_widths(
+      [&] { return lv::opt::assign_dual_vt(nl, tech, 1.0, 0.02, 16); },
+      [](const auto& ref, const auto& got, std::size_t width) {
+        EXPECT_EQ(ref.high_vt_count, got.high_vt_count) << width;
+        EXPECT_EQ(ref.use_high_vt, got.use_high_vt) << width;
+        EXPECT_EQ(ref.delay_after, got.delay_after) << width;
+        EXPECT_EQ(ref.leakage_after, got.leakage_after) << width;
+      });
+}
+
+TEST(SweepDeterminism, FaultCampaign) {
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  const auto vecs = lv::sim::random_vectors(
+      48, static_cast<int>(nl.primary_inputs().size()), 7);
+  expect_same_at_all_widths(
+      [&] { return lv::sim::fault_coverage(nl, vecs); },
+      [](const auto& ref, const auto& got, std::size_t width) {
+        EXPECT_EQ(ref.total_faults, got.total_faults) << width;
+        EXPECT_EQ(ref.detected, got.detected) << width;
+        EXPECT_EQ(ref.coverage, got.coverage) << width;
+        ASSERT_EQ(ref.undetected.size(), got.undetected.size()) << width;
+        for (std::size_t i = 0; i < ref.undetected.size(); ++i) {
+          EXPECT_EQ(ref.undetected[i].net, got.undetected[i].net) << width;
+          EXPECT_EQ(ref.undetected[i].stuck_at, got.undetected[i].stuck_at)
+              << width;
+        }
+      });
+}
+
+TEST(SweepDeterminism, CharacterizeIvSweeps) {
+  const auto tech = lv::tech::soi_low_vt();
+  const auto dev = tech.make_nmos(1.0);
+  expect_same_at_all_widths(
+      [&] {
+        return lv::device::sweep_id_vgs(dev, 1.0, 0.0, 1.5, 301,
+                                        tech.temp_k);
+      },
+      [](const auto& ref, const auto& got, std::size_t width) {
+        ASSERT_EQ(ref.size(), got.size());
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(ref[i].vgs, got[i].vgs) << width;
+          EXPECT_EQ(ref[i].id, got[i].id) << width;
+        }
+      });
+}
+
+}  // namespace

@@ -26,6 +26,7 @@
 #include "circuit/generators.hpp"
 #include "circuit/netlist_io.hpp"
 #include "circuit/transforms.hpp"
+#include "exec/thread_pool.hpp"
 #include "opt/dual_vt.hpp"
 #include "opt/gate_sizing.hpp"
 #include "opt/voltage_opt.hpp"
@@ -469,7 +470,10 @@ void usage() {
       "  sizing <netlist> <tech> [--margin M] [--min-size S]\n"
       "  optimize <netlist> [-o file]\n"
       "tech = predefined name (soi_low_vt, soias, dual_vt_mtcmos,\n"
-      "bulk_cmos_06um, bulk_body_bias) or a tech-file path.\n",
+      "bulk_cmos_06um, bulk_body_bias) or a tech-file path.\n"
+      "Every command accepts --threads N (default: LVSIM_THREADS or all\n"
+      "cores); sweeps and fault campaigns fan out across N workers with\n"
+      "results identical to --threads 1.\n",
       stdout);
 }
 
@@ -484,6 +488,14 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args = parse_args(argc, argv, 2);
+    // Worker width for every sweep/campaign subcommand. Resolution:
+    // --threads N > LVSIM_THREADS env > hardware concurrency; 1 runs the
+    // serial code path (results are identical either way).
+    if (const auto threads = args.text("--threads")) {
+      const long long n = std::atoll(threads->c_str());
+      lv::util::require(n >= 0, "--threads must be >= 0 (0 = default)");
+      lv::exec::set_thread_count(static_cast<std::size_t>(n));
+    }
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "simulate") return cmd_simulate(args);
