@@ -11,7 +11,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace c = lv::core;
   lv::bench::banner("Ablation X7", "bus encoding vs stream statistics");
 

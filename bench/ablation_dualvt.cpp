@@ -12,7 +12,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace c = lv::circuit;
   namespace o = lv::opt;
   lv::bench::banner("Ablation X1", "dual-VT assignment vs period margin");

@@ -13,7 +13,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace c = lv::circuit;
   namespace o = lv::opt;
   lv::bench::banner("Ablation X3", "MTCMOS sleep-transistor sizing");

@@ -13,7 +13,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   lv::bench::banner("Ablation X5", "parallelism vs voltage scaling");
 
   lv::circuit::Netlist nl;

@@ -15,7 +15,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace o = lv::opt;
   lv::bench::banner("Ablation X6", "gate sizing x dual-VT composition");
 

@@ -11,7 +11,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   lv::bench::banner("Ablation X4", "temperature sensitivity");
   const lv::timing::RingOscillator ring{101};
 

@@ -4,9 +4,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 
 namespace lv::bench {
 
@@ -20,6 +23,56 @@ inline void apply_thread_args(int argc, char** argv) {
       // (a negative cast to size_t would request one worker per task).
       if (n >= 0) lv::exec::set_thread_count(static_cast<std::size_t>(n));
     }
+}
+
+namespace detail {
+inline std::string& stats_json_path() {
+  static std::string path;
+  return path;
+}
+inline bool& stats_text_requested() {
+  static bool requested = false;
+  return requested;
+}
+
+// atexit hook: every bench main ends via normal return, so the report
+// lands after the last figure/table is printed.
+inline void emit_stats_report() {
+  const lv::obs::RunReport report = lv::obs::Registry::global().report();
+  if (!stats_json_path().empty()) {
+    std::ofstream out{stats_json_path(), std::ios::binary};
+    if (out) out << report.to_json();
+  }
+  if (stats_text_requested())
+    std::fputs(report.to_text().c_str(), stdout);
+}
+}  // namespace detail
+
+// Full bench argument handling: `--threads N` plus the run-metrics flags
+// `--stats` (text summary appended to stdout at exit) and
+// `--stats-json <file>` (lv-run-report/1 JSON written at exit).
+inline void apply_bench_args(int argc, char** argv) {
+  apply_thread_args(argc, argv);
+  bool want = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--stats") {
+      detail::stats_text_requested() = true;
+      want = true;
+    } else if (std::string{argv[i]} == "--stats-json" && i + 1 < argc) {
+      detail::stats_json_path() = argv[i + 1];
+      want = true;
+    }
+  }
+  if (want) {
+    lv::obs::set_enabled(true);
+    // Touch the registry singleton *before* registering the atexit hook:
+    // function-local statics are destroyed in reverse construction order,
+    // so constructing it first guarantees it outlives the hook (otherwise
+    // the first instrument created mid-run would order the registry's
+    // destructor ahead of the report emission).
+    lv::obs::Registry::global();
+    std::atexit(&detail::emit_stats_report);
+  }
 }
 
 inline void banner(const std::string& id, const std::string& title) {

@@ -16,7 +16,7 @@
 #include "util/units.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   using lv::circuit::CellKind;
   namespace u = lv::util;
 

@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   namespace u = lv::util;
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   lv::bench::banner("Fig. 3", "iso-delay V_DD vs V_T (ring oscillator)");
 
   const auto tech = lv::tech::soi_low_vt();

@@ -15,7 +15,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace u = lv::util;
   namespace o = lv::opt;
   lv::bench::banner("Fig. 4", "energy vs V_T at fixed throughput");

@@ -14,7 +14,7 @@
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace u = lv::util;
   lv::bench::banner("Fig. 6", "SOIAS I-V at two back-gate biases");
 

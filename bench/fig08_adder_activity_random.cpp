@@ -13,7 +13,7 @@
 #include "util/ascii_plot.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace c = lv::circuit;
   namespace s = lv::sim;
   lv::bench::banner("Fig. 8", "8-bit RCA activity histogram, random inputs");

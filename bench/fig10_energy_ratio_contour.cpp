@@ -41,7 +41,7 @@ double measure_alpha(lv::circuit::Netlist& nl,
 }  // namespace
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   namespace c = lv::core;
   namespace ci = lv::circuit;
   namespace p = lv::profile;

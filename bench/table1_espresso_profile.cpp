@@ -8,7 +8,7 @@
 #include "workloads/kernels.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   lv::bench::banner("Table 1", "profiling results, espresso-like kernel");
   const auto run =
       lv::bench::run_profile_table(lv::workloads::espresso_workload(96));

@@ -7,7 +7,7 @@
 #include "workloads/kernels.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   lv::bench::banner("Table 2", "profiling results, li-like kernel");
   const auto run =
       lv::bench::run_profile_table(lv::workloads::li_workload(256));

@@ -8,7 +8,7 @@
 #include "workloads/kernels.hpp"
 
 int main(int argc, char** argv) {
-  lv::bench::apply_thread_args(argc, argv);
+  lv::bench::apply_bench_args(argc, argv);
   lv::bench::banner("Table 3", "profiling results, IDEA encryption");
   const auto idea =
       lv::bench::run_profile_table(lv::workloads::idea_workload(64));

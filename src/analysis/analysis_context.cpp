@@ -5,6 +5,7 @@
 
 #include "device/capacitance.hpp"
 #include "device/stack.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace lv::analysis {
@@ -17,6 +18,35 @@ namespace {
 // alpha-power delay model. Must match timing::DelayModel's constant so
 // context-backed feasibility agrees with DelayModel::feasible().
 constexpr double kMinOverdrive = 0.02;  // [V]
+
+// Memo traffic counters (lv::obs). Stability::scheduling: parallel
+// sweeps hand each worker its own context clone (exec::SweepGrid), so
+// hit/miss totals legitimately vary with thread width even though every
+// *value* produced stays bit-identical.
+enum class Memo { stack, leak, drive };
+
+void note_memo(Memo table, bool hit) {
+  if (!lv::obs::enabled()) return;
+  using lv::obs::Registry;
+  using lv::obs::Stability;
+  static auto& stack_hit = Registry::global().counter(
+      "analysis.stack_memo.hits", Stability::scheduling);
+  static auto& stack_miss = Registry::global().counter(
+      "analysis.stack_memo.misses", Stability::scheduling);
+  static auto& leak_hit = Registry::global().counter(
+      "analysis.leak_memo.hits", Stability::scheduling);
+  static auto& leak_miss = Registry::global().counter(
+      "analysis.leak_memo.misses", Stability::scheduling);
+  static auto& drive_hit = Registry::global().counter(
+      "analysis.drive_memo.hits", Stability::scheduling);
+  static auto& drive_miss = Registry::global().counter(
+      "analysis.drive_memo.misses", Stability::scheduling);
+  switch (table) {
+    case Memo::stack: (hit ? stack_hit : stack_miss).add(1); break;
+    case Memo::leak: (hit ? leak_hit : leak_miss).add(1); break;
+    case Memo::drive: (hit ? drive_hit : drive_miss).add(1); break;
+  }
+}
 
 }  // namespace
 
@@ -40,6 +70,7 @@ void AnalysisContext::set_operating_point(const OperatingPoint& op) {
 const AnalysisContext::StackFactors& AnalysisContext::stack_factors() const {
   const auto key = std::tuple{op_.vdd, op_.vt_shift, op_.temp_k};
   const auto it = stack_memo_.find(key);
+  note_memo(Memo::stack, it != stack_memo_.end());
   if (it != stack_memo_.end()) return it->second;
 
   // Numeric stack factors: leakage of an s-high stack of unit devices
@@ -71,6 +102,7 @@ const std::vector<double>& AnalysisContext::cell_leakage(
   const auto key =
       std::tuple{op_.vdd, op_.vt_shift, extra_vt_shift, op_.temp_k};
   const auto it = leak_memo_.find(key);
+  note_memo(Memo::leak, it != leak_memo_.end());
   if (it != leak_memo_.end()) return it->second;
 
   const StackFactors& sf = stack_factors();
@@ -96,6 +128,7 @@ const AnalysisContext::DriveParams& AnalysisContext::drive_params(
     double vt_shift) const {
   const auto key = std::pair{op_.vdd, vt_shift};
   const auto it = drive_memo_.find(key);
+  note_memo(Memo::drive, it != drive_memo_.end());
   if (it != drive_memo_.end()) return it->second;
 
   // Mirrors timing::DelayModel's constructor exactly (same expressions,

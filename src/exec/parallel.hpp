@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace lv::exec {
 
@@ -54,6 +55,26 @@ struct ParallelOptions {
 namespace detail {
 
 struct NoState {};
+
+// lv::obs instrumentation. Calls and items are Stability::exact: every
+// primitive invocation passes through drive() exactly once (nested calls
+// included) and processes all n items, regardless of the thread width.
+// Chunk claims only exist on the parallel path and their count depends
+// on the width, so they are scheduling-stability.
+inline void note_parallel_call(std::size_t n) {
+  if (!obs::enabled()) return;
+  static auto& calls = obs::Registry::global().counter("exec.parallel_calls");
+  static auto& items = obs::Registry::global().counter("exec.parallel_items");
+  calls.add(1);
+  items.add(n);
+}
+
+inline void note_chunk_claim() {
+  if (!obs::enabled()) return;
+  static auto& chunks = obs::Registry::global().counter(
+      "exec.pool.chunks_claimed", obs::Stability::scheduling);
+  chunks.add(1);
+}
 
 inline std::size_t resolve_width(std::size_t n, const ParallelOptions& opt) {
   if (n <= 1 || on_worker_thread()) return 1;
@@ -75,6 +96,7 @@ template <class MakeState, class Fn>
 void drive(std::size_t n, const ParallelOptions& opt, MakeState&& make,
            Fn&& fn) {
   if (n == 0) return;
+  note_parallel_call(n);
   std::size_t err_index = n;
   std::exception_ptr err;
   const std::size_t width = resolve_width(n, opt);
@@ -101,6 +123,7 @@ void drive(std::size_t n, const ParallelOptions& opt, MakeState&& make,
         const std::size_t begin =
             cursor.fetch_add(chunk, std::memory_order_relaxed);
         if (begin >= n) return;
+        note_chunk_claim();
         const std::size_t end = begin + chunk < n ? begin + chunk : n;
         if (!state) {
           try {

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace lv::exec {
@@ -15,6 +17,13 @@ namespace lv::exec {
 namespace {
 
 thread_local bool t_on_worker = false;
+
+// Per-worker busy-time slices (lv::obs). Wall time is never part of the
+// deterministic report; these show where parallel work actually landed.
+lv::obs::Timer& worker_busy_timer(std::size_t id) {
+  return lv::obs::Registry::global().timer("exec.worker." +
+                                           std::to_string(id) + ".busy");
+}
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("LVSIM_THREADS")) {
@@ -65,7 +74,12 @@ struct ThreadPool::Impl {
       if (id >= width) continue;  // not scheduled this generation
       const auto* fn = task;
       lock.unlock();
-      (*fn)(id);
+      if (lv::obs::enabled()) {
+        lv::obs::ScopedTimer busy{worker_busy_timer(id)};
+        (*fn)(id);
+      } else {
+        (*fn)(id);
+      }
       lock.lock();
       if (--remaining == 0) done_cv.notify_all();
     }
@@ -96,6 +110,12 @@ void ThreadPool::run(std::size_t width,
     task(0);
     return;
   }
+  if (lv::obs::enabled()) {
+    // Generations and widths depend on the thread count by definition.
+    static auto& generations = lv::obs::Registry::global().counter(
+        "exec.pool.generations", lv::obs::Stability::scheduling);
+    generations.add(1);
+  }
   {
     std::lock_guard<std::mutex> lock{impl_->mu};
     // Lazily grow the pool: worker i handles ids 1..width-1.
@@ -114,7 +134,12 @@ void ThreadPool::run(std::size_t width,
   // call from its own slice runs inline instead of re-entering the pool
   // mid-generation (which would clobber the in-flight task state).
   t_on_worker = true;
-  task(0);
+  if (lv::obs::enabled()) {
+    lv::obs::ScopedTimer busy{worker_busy_timer(0)};
+    task(0);
+  } else {
+    task(0);
+  }
   t_on_worker = false;
   std::unique_lock<std::mutex> lock{impl_->mu};
   impl_->done_cv.wait(lock, [&] { return impl_->remaining == 0; });

@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+#include "obs/run_report.hpp"
+#include "util/error.hpp"
+
+namespace lv::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name, Stability stability) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_
+      .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+               std::forward_as_tuple(stability))
+      .first->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock{mu_};
+  return gauges_[name];
+}
+
+Timer& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock{mu_};
+  return timers_[name];
+}
+
+Hist& Registry::histogram(const std::string& name, double lo, double hi,
+                          std::size_t bins) {
+  std::lock_guard<std::mutex> lock{mu_};
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::piecewise_construct, std::forward_as_tuple(name),
+               std::forward_as_tuple(lo, hi, bins))
+      .first->second;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock{mu_};
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, t] : timers_) t.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+RunReport Registry::report() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  RunReport out;
+  for (const auto& [name, c] : counters_) {
+    if (c.stability() == Stability::exact)
+      out.counters[name] = c.value();
+    else
+      out.scheduling_counters[name] = c.value();
+  }
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g.value();
+  for (const auto& [name, t] : timers_)
+    out.timers[name] = RunReport::TimerStat{t.calls(), t.total_ns()};
+  for (const auto& [name, h] : histograms_) {
+    const util::Histogram snap = h.snapshot();
+    RunReport::HistStat hs;
+    hs.lo = snap.lo();
+    hs.hi = snap.hi();
+    hs.underflow = snap.underflow();
+    hs.overflow = snap.overflow();
+    hs.total = snap.total();
+    hs.counts.reserve(snap.bins());
+    for (std::size_t b = 0; b < snap.bins(); ++b)
+      hs.counts.push_back(snap.count(b));
+    out.histograms[name] = std::move(hs);
+  }
+  return out;
+}
+
+}  // namespace lv::obs

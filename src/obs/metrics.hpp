@@ -1,0 +1,220 @@
+// Run-metrics observability layer (the paper's Section 5 thesis applied
+// to the tool itself: low-power design lives on *measured* activity, so
+// the toolkit measures its own hot paths the way it measures netlists).
+//
+// A process-wide Registry holds named instruments:
+//
+//   Counter — monotonically increasing uint64 total. Each counter
+//     declares a Stability: `exact` counters count *work items*
+//     (simulator events, nets billed, parallel loop items) whose totals
+//     are bit-identical at any `--threads` width, extending the lv::exec
+//     determinism contract to observability; `scheduling` counters count
+//     artifacts of how work was partitioned (chunks claimed, pool
+//     generations, per-clone memo hits) and may vary with width.
+//   Gauge — last-value / running-max double (queue-depth high-water).
+//   Timer — call count + total wall nanoseconds; ScopedTimer is the
+//     RAII form. Wall times are never part of the deterministic report.
+//   Hist — fixed-bin histogram over a value distribution, reusing
+//     lv::util::Histogram (with its under/overflow tracking). Bin counts
+//     are per-sample, so they stay width-invariant too.
+//
+// Collection is compiled in and gated behind a single relaxed atomic
+// flag: with obs disabled (the default) every instrumented hot path pays
+// one predictable branch and touches no shared state. Enabling is done
+// by `--stats` / `--stats-json` in lvtool and the benches, or
+// programmatically (tests).
+//
+// Snapshotting goes through RunReport (obs/run_report.hpp), which
+// partitions instruments into deterministic and scheduling-dependent
+// sections for the JSON/text writers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/statistics.hpp"
+
+namespace lv::obs {
+
+struct RunReport;
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+// True when metrics collection is on. Relaxed load: instrumented paths
+// may briefly disagree around a toggle, which only ever costs a few
+// counts at the measurement boundary.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+enum class Stability {
+  exact,       // width-invariant total (deterministic report section)
+  scheduling,  // depends on work partitioning / thread width
+};
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  Stability stability() const { return stability_; }
+
+  // Constructed by Registry (map element construction needs a public
+  // constructor); atomics make instruments non-copyable regardless.
+  explicit Counter(Stability stability) : stability_{stability} {}
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> value_{0};
+  Stability stability_;
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  // Running maximum (commutative, so width-invariant for the same set of
+  // observations — still reported outside the deterministic section).
+  void update_max(double v) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  Gauge() = default;
+
+ private:
+  friend class Registry;
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+class Timer {
+ public:
+  void record(std::uint64_t ns) {
+    if (!enabled()) return;
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+
+  Timer() = default;
+
+ private:
+  friend class Registry;
+  void reset() {
+    calls_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+  }
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+// RAII wall-clock slice: records elapsed steady-clock ns into the timer
+// on destruction. Disabled obs skips the clock reads entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer) : timer_{enabled() ? &timer : nullptr} {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (timer_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - start_);
+    timer_->record(static_cast<std::uint64_t>(ns.count()));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Mutex-guarded histogram over a value distribution. Coarser than the
+// atomic counters, but histogram adds only happen on enabled measurement
+// runs and are far off the per-event fast path.
+class Hist {
+ public:
+  void add(double x) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock{mu_};
+    hist_.add(x);
+  }
+  // Snapshot copy (the live histogram keeps accumulating).
+  util::Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock{mu_};
+    return hist_;
+  }
+
+  Hist(double lo, double hi, std::size_t bins) : hist_{lo, hi, bins} {}
+
+ private:
+  friend class Registry;
+  void reset() {
+    std::lock_guard<std::mutex> lock{mu_};
+    hist_ = util::Histogram{hist_.lo(), hist_.hi(), hist_.bins()};
+  }
+  mutable std::mutex mu_;
+  util::Histogram hist_;
+};
+
+// Name -> instrument map. Instruments are created on first request and
+// live for the process lifetime (references stay valid across reset()),
+// so call sites can cache `static Counter& c = ...` safely.
+class Registry {
+ public:
+  static Registry& global();
+
+  // `stability` is fixed by the first registration of a name.
+  Counter& counter(const std::string& name,
+                   Stability stability = Stability::exact);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+  // lo/hi/bins are fixed by the first registration of a name.
+  Hist& histogram(const std::string& name, double lo, double hi,
+                  std::size_t bins);
+
+  // Zeroes every instrument's accumulated values; registrations (and
+  // references held by call sites) survive.
+  void reset();
+
+  RunReport report() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  // std::map: node-based, so element references are stable forever.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Timer> timers_;
+  std::map<std::string, Hist> histograms_;
+};
+
+}  // namespace lv::obs

@@ -1,0 +1,46 @@
+// Snapshot of the metrics registry, partitioned for reporting.
+//
+// `counters` holds only Stability::exact counters — the deterministic
+// section of the report: for the same inputs these totals are
+// bit-identical at `--threads 1/2/8` (pinned by tests/obs_test.cpp).
+// Histograms are per-sample bin counts and share that invariance.
+// `scheduling_counters`, `gauges`, and `timers` describe *how* the run
+// executed (chunk claims, pool generations, memo traffic of per-worker
+// clones, queue high-water, wall time) and are outside the contract.
+//
+// to_json() emits the `lv-run-report/1` schema documented in
+// docs/FORMATS.md; to_text() is the `--stats` pretty-printer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lv::obs {
+
+struct RunReport {
+  struct TimerStat {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+  struct HistStat {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> counts;
+  };
+
+  std::map<std::string, std::uint64_t> counters;  // deterministic section
+  std::map<std::string, std::uint64_t> scheduling_counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+  std::map<std::string, HistStat> histograms;  // deterministic section
+
+  std::string to_json(bool pretty = true) const;
+  std::string to_text() const;
+};
+
+}  // namespace lv::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "device/capacitance.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace lv::power {
@@ -11,6 +12,27 @@ namespace lv::power {
 namespace u = lv::util;
 using circuit::InstanceId;
 using circuit::NetId;
+
+namespace {
+
+// Estimator metrics (lv::obs), all Stability::exact: estimate calls and
+// the per-component accumulation term counts depend only on the netlist
+// and how many points were evaluated, never on scheduling.
+lv::obs::Counter& c_estimates() {
+  static auto& c = lv::obs::Registry::global().counter("power.estimate_calls");
+  return c;
+}
+lv::obs::Counter& c_switching_terms() {
+  static auto& c =
+      lv::obs::Registry::global().counter("power.switching_terms");
+  return c;
+}
+lv::obs::Counter& c_leakage_terms() {
+  static auto& c = lv::obs::Registry::global().counter("power.leakage_terms");
+  return c;
+}
+
+}  // namespace
 
 PowerEstimator::PowerEstimator(const circuit::Netlist& netlist,
                                const tech::Process& process,
@@ -45,6 +67,7 @@ double PowerEstimator::leakage_current(double extra_vt_shift) const {
   double total = 0.0;
   for (InstanceId i = 0; i < netlist.instance_count(); ++i)
     total += per_kind[static_cast<std::size_t>(netlist.instance(i).kind)];
+  c_leakage_terms().add(netlist.instance_count());
   return total;
 }
 
@@ -70,6 +93,8 @@ PowerBreakdown PowerEstimator::estimate(const sim::ActivityStats& stats) const {
   out.short_circuit = out.switching * short_circuit_fraction();
   out.leakage = leakage_current() * op.vdd;
   out.clock = loads.clock_cap() * v2f;
+  c_estimates().add(1);
+  c_switching_terms().add(netlist.net_count());
   return out;
 }
 
@@ -83,6 +108,7 @@ PowerBreakdown PowerEstimator::estimate_uniform(double alpha) const {
   out.short_circuit = out.switching * short_circuit_fraction();
   out.leakage = leakage_current() * op.vdd;
   out.clock = loads.clock_cap() * v2f;
+  c_estimates().add(1);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace lv::sim {
@@ -11,6 +12,47 @@ using circuit::CellKind;
 using circuit::InstanceId;
 using circuit::Logic;
 using circuit::NetId;
+
+namespace {
+
+// Global simulator metrics (lv::obs). Every counter here is
+// Stability::exact: totals are sums over per-simulator work that does
+// not depend on how a campaign was partitioned across threads.
+lv::obs::Counter& c_events() {
+  static auto& c = lv::obs::Registry::global().counter("sim.events_processed");
+  return c;
+}
+lv::obs::Counter& c_settles() {
+  static auto& c = lv::obs::Registry::global().counter("sim.settle_calls");
+  return c;
+}
+lv::obs::Counter& c_cycles() {
+  static auto& c = lv::obs::Registry::global().counter("sim.cycles");
+  return c;
+}
+lv::obs::Counter& c_transitions() {
+  static auto& c = lv::obs::Registry::global().counter("sim.transitions");
+  return c;
+}
+lv::obs::Counter& c_settled_changes() {
+  static auto& c = lv::obs::Registry::global().counter("sim.settled_changes");
+  return c;
+}
+lv::obs::Counter& c_glitches() {
+  static auto& c = lv::obs::Registry::global().counter("sim.glitches");
+  return c;
+}
+lv::obs::Gauge& g_queue_hwm() {
+  static auto& g = lv::obs::Registry::global().gauge("sim.queue_depth_hwm");
+  return g;
+}
+lv::obs::Hist& h_events_per_settle() {
+  static auto& h = lv::obs::Registry::global().histogram(
+      "sim.events_per_settle", 0.0, 256.0, 32);
+  return h;
+}
+
+}  // namespace
 
 double ActivityStats::alpha(NetId net) const {
   if (cycles_ == 0) return 0.0;
@@ -103,6 +145,8 @@ std::uint64_t Simulator::gate_delay(InstanceId id) const {
 void Simulator::schedule(NetId net, Logic value, std::uint64_t time) {
   scheduled_[net] = value;
   queue_.push(Event{time, seq_++, net, value});
+  if (obs::enabled() && queue_.size() > queue_hwm_)
+    queue_hwm_ = queue_.size();
 }
 
 void Simulator::evaluate_instance(InstanceId id, std::uint64_t now) {
@@ -121,13 +165,15 @@ void Simulator::apply_event(const Event& event) {
   const Logic old = values_[event.net];
   if (old == event.value) return;
   values_[event.net] = event.value;
-  if (circuit::is_known(old) && circuit::is_known(event.value))
+  if (circuit::is_known(old) && circuit::is_known(event.value)) {
     ++stats_.transitions_[event.net];
+    ++cycle_transitions_;
+  }
   for (const InstanceId consumer : netlist_.fanout(event.net))
     evaluate_instance(consumer, event.time);
 }
 
-void Simulator::drain_events() {
+std::uint64_t Simulator::drain_events() {
   std::uint64_t processed = 0;
   while (!queue_.empty()) {
     const Event e = queue_.top();
@@ -137,22 +183,45 @@ void Simulator::drain_events() {
     u::require(++processed <= config_.max_events_per_settle,
                "Simulator: event budget exceeded (oscillation?)");
   }
+  if (obs::enabled()) {
+    c_events().add(processed);
+    g_queue_hwm().update_max(static_cast<double>(queue_hwm_));
+    queue_hwm_ = 0;
+  }
+  return processed;
 }
 
 void Simulator::finish_cycle() {
+  std::uint64_t changed = 0;
   for (NetId n = 0; n < netlist_.net_count(); ++n) {
     const Logic before = settled_[n];
     const Logic after = values_[n];
     if (circuit::is_known(before) && circuit::is_known(after) &&
-        before != after)
+        before != after) {
       ++stats_.settled_changes_[n];
+      ++changed;
+    }
     settled_[n] = after;
   }
   ++stats_.cycles_;
+  if (obs::enabled()) {
+    c_cycles().add(1);
+    c_transitions().add(cycle_transitions_);
+    c_settled_changes().add(changed);
+    // Aggregate glitch proxy: toggles this cycle beyond the one settled
+    // change each flipped net needs (Figs. 8-9's spurious transitions).
+    c_glitches().add(cycle_transitions_ -
+                     std::min(cycle_transitions_, changed));
+  }
+  cycle_transitions_ = 0;
 }
 
 void Simulator::settle() {
-  drain_events();
+  const std::uint64_t processed = drain_events();
+  if (obs::enabled()) {
+    c_settles().add(1);
+    h_events_per_settle().add(static_cast<double>(processed));
+  }
   finish_cycle();
 }
 

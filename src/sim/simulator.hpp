@@ -132,7 +132,8 @@ class Simulator {
   void evaluate_instance(circuit::InstanceId id, std::uint64_t now);
   std::uint64_t gate_delay(circuit::InstanceId id) const;
   void apply_event(const Event& event);
-  void drain_events();
+  // Returns the number of events processed (observability).
+  std::uint64_t drain_events();
   void finish_cycle();
 
   const circuit::Netlist& netlist_;
@@ -150,6 +151,11 @@ class Simulator {
   std::uint64_t seq_ = 0;
   std::unordered_set<std::string> disabled_modules_;
   ActivityStats stats_;
+  // Observability scratch (lv::obs): queue-depth high-water mark since
+  // the last drain, and transitions since the last finish_cycle (feeds
+  // the aggregate glitch counter). Maintained only while obs is enabled.
+  std::uint64_t queue_hwm_ = 0;
+  std::uint64_t cycle_transitions_ = 0;
 };
 
 }  // namespace lv::sim

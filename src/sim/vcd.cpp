@@ -25,18 +25,31 @@ std::string VcdRecorder::id_code(std::size_t index) {
 }
 
 void VcdRecorder::sample() {
+  const auto& nl = simulator_.netlist();
+  if (sample_count_ == 0) {
+    // The first sample is the time-0 state: it becomes the contents of
+    // the $dumpvars ... $end block (every declared variable, once).
+    std::ostringstream out;
+    for (NetId n = 0; n < nl.net_count(); ++n) {
+      const Logic v = simulator_.value(n);
+      out << circuit::to_char(v) << id_code(n) << '\n';
+      last_[n] = v;
+    }
+    initial_ = out.str();
+    ++sample_count_;
+    return;
+  }
   std::ostringstream out;
   out << '#' << sample_count_ * time_step_ << '\n';
-  const auto& nl = simulator_.netlist();
   bool any = false;
   for (NetId n = 0; n < nl.net_count(); ++n) {
     const Logic v = simulator_.value(n);
-    if (sample_count_ > 0 && v == last_[n]) continue;
+    if (v == last_[n]) continue;
     out << circuit::to_char(v) << id_code(n) << '\n';
     last_[n] = v;
     any = true;
   }
-  if (any || sample_count_ == 0) body_ += out.str();
+  if (any) body_ += out.str();
   ++sample_count_;
 }
 
@@ -55,7 +68,13 @@ std::string VcdRecorder::render() const {
   }
   out << "$upscope $end\n";
   out << "$enddefinitions $end\n";
-  out << "$dumpvars\n";
+  // IEEE 1364 layout: the time-0 snapshot lives *inside* the
+  // $dumpvars ... $end block at timestamp #0; later timestamps carry
+  // only deltas. (The old emitter dumped time 0 after a bare $dumpvars
+  // with no $end, which standard viewers reject.)
+  out << "#0\n$dumpvars\n";
+  out << initial_;
+  out << "$end\n";
   out << body_;
   return out.str();
 }

@@ -39,6 +39,9 @@ class VcdRecorder {
   std::uint64_t time_step_;
   std::uint64_t sample_count_ = 0;
   std::vector<circuit::Logic> last_;
+  // Time-0 snapshot (the $dumpvars ... $end block contents) and the
+  // timestamped deltas that follow it.
+  std::string initial_;
   std::string body_;
 };
 

@@ -131,6 +131,12 @@ std::string render_histogram(const Histogram& histogram,
     out << label << ' ' << std::string(static_cast<std::size_t>(bar), '#')
         << ' ' << n << '\n';
   }
+  if (histogram.underflow() != 0)
+    out << "underflow (< " << histogram.lo() << "): "
+        << histogram.underflow() << '\n';
+  if (histogram.overflow() != 0)
+    out << "overflow (>= " << histogram.hi() << "): "
+        << histogram.overflow() << '\n';
   out << "total samples: " << histogram.total() << '\n';
   return out.str();
 }

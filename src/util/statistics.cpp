@@ -40,6 +40,11 @@ void RunningStats::merge(const RunningStats& other) {
 
 double RunningStats::variance() const {
   if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::population_variance() const {
+  if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_);
 }
 
@@ -53,10 +58,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  auto bin = static_cast<long>(std::floor((x - lo_) / width_));
-  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1L);
-  ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  // Compare before casting: a cast of a huge quotient to an integer is
+  // undefined. x == hi (and anything beyond) falls outside the half-open
+  // range; the division can also land exactly on bins() for x just below
+  // hi, which is overflow by the same rule.
+  const double pos = std::floor((x - lo_) / width_);
+  if (pos >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(pos)];
 }
 
 double Histogram::bin_lo(std::size_t bin) const {

@@ -18,8 +18,14 @@ class RunningStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ ? mean_ : 0.0; }
-  // Population variance; 0 for fewer than 2 samples.
+  // Sample variance (the n-1 / Bessel-corrected estimator — the right
+  // default for the small-n bench summaries this class feeds); 0 for
+  // fewer than 2 samples.
   double variance() const;
+  // Population variance (divide by n) for callers that really have the
+  // whole population.
+  double population_variance() const;
+  // Sample standard deviation (sqrt of variance()).
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
@@ -33,8 +39,11 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-// Fixed-bin histogram over [lo, hi). Values outside the range are clamped
-// into the first/last bin so no sample is silently dropped.
+// Fixed-bin histogram over [lo, hi). Out-of-range samples are tracked in
+// separate underflow/overflow counters rather than clamped into the edge
+// bins, so edge-bin counts and fraction() describe only in-range data.
+// total() still counts *every* sample offered (in-range or not), which
+// keeps "did we bin everything we saw" checks meaningful.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -43,7 +52,13 @@ class Histogram {
 
   std::size_t bins() const { return counts_.size(); }
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  // All samples offered to add(), including under/overflow.
   std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }  // x < lo
+  std::uint64_t overflow() const { return overflow_; }    // x >= hi
+  std::uint64_t in_range() const {
+    return total_ - underflow_ - overflow_;
+  }
   double bin_lo(std::size_t bin) const;
   double bin_hi(std::size_t bin) const;
   double bin_center(std::size_t bin) const;
@@ -58,6 +73,8 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace lv::util

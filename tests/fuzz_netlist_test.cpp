@@ -38,9 +38,12 @@ c::Netlist random_netlist(int inputs, int gates, std::uint64_t seed) {
     std::vector<c::NetId> ins;
     for (int k = 0; k < arity; ++k)
       ins.push_back(nets[rng.next_below(nets.size())]);
+    // Built via += rather than `"g" + std::to_string(g)`: GCC 12's
+    // -Wrestrict false-positives on the rvalue operator+ when inlined.
+    std::string gate_name = "g";
+    gate_name += std::to_string(g);
     nets.push_back(
-        nl.add_gate(kind, "g" + std::to_string(g), ins,
-                    g % 2 ? "even" : "odd"));
+        nl.add_gate(kind, gate_name, ins, g % 2 ? "even" : "odd"));
   }
   // Outputs: all nets nobody consumes.
   for (const auto n : nets) {

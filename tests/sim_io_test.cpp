@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "circuit/generators.hpp"
 #include "sim/activity_io.hpp"
 #include "sim/simulator.hpp"
@@ -69,6 +74,65 @@ TEST(Vcd, TimestampsAdvanceByStep) {
   EXPECT_NE(out.find("#0\n"), std::string::npos);
   EXPECT_NE(out.find("#5\n"), std::string::npos);
   EXPECT_NE(out.find("$timescale 10ps $end"), std::string::npos);
+}
+
+// Structural walk of a rendered dump, the way a VCD viewer reads it:
+// collect the declared identifier codes, then require the value-change
+// section to open with `#0` + a `$dumpvars ... $end` block that assigns
+// every declared id exactly once, followed by strictly increasing
+// timestamps whose deltas reference only declared ids.
+TEST(Vcd, RoundTripStructureIsViewerParseable) {
+  Rig rig;
+  s::VcdRecorder vcd{rig.sim, "1ns", 2};
+  vcd.sample();
+  for (const std::uint64_t v : {1ull, 9ull, 9ull, 0xfull}) {
+    rig.sim.set_bus(rig.ports.a, v);
+    rig.sim.settle();
+    vcd.sample();
+  }
+  std::istringstream in{vcd.render()};
+  std::string line;
+  std::set<std::string> declared;
+  // Header: harvest `$var wire 1 <id> <name> $end` declarations.
+  while (std::getline(in, line) && line != "$enddefinitions $end") {
+    if (line.rfind("$var ", 0) != 0) continue;
+    std::istringstream fields{line};
+    std::string kw, type, width, id;
+    fields >> kw >> type >> width >> id;
+    EXPECT_TRUE(declared.insert(id).second) << "duplicate id " << id;
+  }
+  ASSERT_EQ(declared.size(), rig.nl.net_count());
+
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "#0");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "$dumpvars");
+  // Initial block: every declared variable gets a value exactly once.
+  std::set<std::string> initialized;
+  while (std::getline(in, line) && line != "$end") {
+    ASSERT_GE(line.size(), 2u) << line;
+    EXPECT_NE(std::string{"01xz"}.find(line[0]), std::string::npos) << line;
+    const std::string id = line.substr(1);
+    EXPECT_TRUE(declared.count(id)) << "undeclared id " << id;
+    EXPECT_TRUE(initialized.insert(id).second) << "re-dumped id " << id;
+  }
+  EXPECT_EQ(line, "$end") << "unterminated $dumpvars block";
+  EXPECT_EQ(initialized, declared);
+
+  // Delta section: strictly increasing timestamps, declared ids only.
+  std::uint64_t last_time = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      const std::uint64_t t = std::stoull(line.substr(1));
+      EXPECT_GT(t, last_time);
+      last_time = t;
+      continue;
+    }
+    EXPECT_NE(std::string{"01xz"}.find(line[0]), std::string::npos) << line;
+    EXPECT_TRUE(declared.count(line.substr(1))) << line;
+  }
+  EXPECT_GT(last_time, 0u) << "no timestamped deltas after the inputs moved";
 }
 
 TEST(ActivityIo, RoundTripPreservesCounts) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace u = lv::util;
@@ -18,11 +20,21 @@ TEST(RunningStats, KnownMoments) {
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
   EXPECT_EQ(s.count(), 8u);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
-  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  // Sum of squared deviations is 32 over n=8 samples: sample variance
+  // divides by n-1, the population estimator by n.
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(32.0 / 7.0));
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
   EXPECT_DOUBLE_EQ(s.min(), 2.0);
   EXPECT_DOUBLE_EQ(s.max(), 9.0);
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  u::RunningStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);  // n-1 == 0: defined as 0, not NaN
+  EXPECT_DOUBLE_EQ(s.population_variance(), 0.0);
 }
 
 TEST(RunningStats, MergeMatchesSequential) {
@@ -77,14 +89,28 @@ TEST(Histogram, CountsSamplesIntoCorrectBins) {
   EXPECT_DOUBLE_EQ(h.fraction(3), 0.4);
 }
 
-TEST(Histogram, ClampsOutOfRangeSamples) {
+TEST(Histogram, TracksUnderflowAndOverflowSeparately) {
   u::Histogram h{0.0, 1.0, 2};
-  h.add(-5.0);
-  h.add(5.0);
-  h.add(1.0);  // exactly hi -> clamped into last bin
+  h.add(-5.0);  // below lo -> underflow, not bin 0
+  h.add(5.0);   // beyond hi -> overflow, not last bin
+  h.add(1.0);   // exactly hi: range is half-open [lo, hi) -> overflow
+  h.add(0.25);  // in range -> bin 0
   EXPECT_EQ(h.count(0), 1u);
-  EXPECT_EQ(h.count(1), 2u);
-  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  // total() still counts every sample offered, in-range or not, so
+  // callers that use it as a sample count keep working.
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.in_range(), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+}
+
+TEST(Histogram, LowerEdgeIsInclusive) {
+  u::Histogram h{-1.0, 1.0, 4};
+  h.add(-1.0);  // exactly lo -> bin 0, not underflow
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
 }
 
 TEST(Histogram, RejectsDegenerateRange) {

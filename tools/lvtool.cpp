@@ -27,6 +27,8 @@
 #include "circuit/netlist_io.hpp"
 #include "circuit/transforms.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "opt/dual_vt.hpp"
 #include "opt/gate_sizing.hpp"
 #include "opt/voltage_opt.hpp"
@@ -71,7 +73,10 @@ Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string token = argv[i];
-    if (token.rfind("--", 0) == 0 || token == "-o") {
+    if (token == "--stats") {
+      // Boolean flag: run metrics to stdout, no value token.
+      args.options[token] = "1";
+    } else if (token.rfind("--", 0) == 0 || token == "-o") {
       u::require(i + 1 < argc, "option '" + token + "' needs a value");
       args.options[token == "-o" ? "--out" : token] = argv[++i];
     } else {
@@ -449,6 +454,24 @@ int cmd_optimize(const Args& args) {
   return 0;
 }
 
+int run_command(const std::string& cmd, const Args& args) {
+  if (cmd == "gen") return cmd_gen(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "simulate") return cmd_simulate(args);
+  if (cmd == "power") return cmd_power(args);
+  if (cmd == "timing") return cmd_timing(args);
+  if (cmd == "dualvt") return cmd_dualvt(args);
+  if (cmd == "optimize-vt") return cmd_optimize_vt(args);
+  if (cmd == "profile") return cmd_profile(args);
+  if (cmd == "techfile") return cmd_techfile(args);
+  if (cmd == "glitch") return cmd_glitch(args);
+  if (cmd == "faults") return cmd_faults(args);
+  if (cmd == "paths") return cmd_paths(args);
+  if (cmd == "sizing") return cmd_sizing(args);
+  if (cmd == "optimize") return cmd_optimize(args);
+  return -1;  // unknown command
+}
+
 void usage() {
   std::fputs(
       "lvtool — low-voltage design toolkit CLI\n"
@@ -473,7 +496,10 @@ void usage() {
       "bulk_cmos_06um, bulk_body_bias) or a tech-file path.\n"
       "Every command accepts --threads N (default: LVSIM_THREADS or all\n"
       "cores); sweeps and fault campaigns fan out across N workers with\n"
-      "results identical to --threads 1.\n",
+      "results identical to --threads 1.\n"
+      "Every command also accepts --stats (run-metrics summary to stdout)\n"
+      "and --stats-json <file> (lv-run-report/1 JSON). The `counters`\n"
+      "section is bit-identical at any --threads width.\n",
       stdout);
 }
 
@@ -496,23 +522,29 @@ int main(int argc, char** argv) {
       lv::util::require(n >= 0, "--threads must be >= 0 (0 = default)");
       lv::exec::set_thread_count(static_cast<std::size_t>(n));
     }
-    if (cmd == "gen") return cmd_gen(args);
-    if (cmd == "stats") return cmd_stats(args);
-    if (cmd == "simulate") return cmd_simulate(args);
-    if (cmd == "power") return cmd_power(args);
-    if (cmd == "timing") return cmd_timing(args);
-    if (cmd == "dualvt") return cmd_dualvt(args);
-    if (cmd == "optimize-vt") return cmd_optimize_vt(args);
-    if (cmd == "profile") return cmd_profile(args);
-    if (cmd == "techfile") return cmd_techfile(args);
-    if (cmd == "glitch") return cmd_glitch(args);
-    if (cmd == "faults") return cmd_faults(args);
-    if (cmd == "paths") return cmd_paths(args);
-    if (cmd == "sizing") return cmd_sizing(args);
-    if (cmd == "optimize") return cmd_optimize(args);
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    usage();
-    return 1;
+    // Run metrics: collection is compiled in but a no-op until a stats
+    // sink is requested, so plain runs pay one predicted branch per site.
+    const bool stats_text = args.options.count("--stats") != 0;
+    const auto stats_json = args.text("--stats-json");
+    if (stats_text || stats_json) lv::obs::set_enabled(true);
+
+    int rc;
+    {
+      lv::obs::ScopedTimer whole_command{
+          lv::obs::Registry::global().timer("lvtool.command")};
+      rc = run_command(cmd, args);
+    }
+    if (rc < 0) {
+      std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+      usage();
+      return 1;
+    }
+    if (stats_text || stats_json) {
+      const lv::obs::RunReport report = lv::obs::Registry::global().report();
+      if (stats_json) write_file(*stats_json, report.to_json());
+      if (stats_text) std::fputs(report.to_text().c_str(), stdout);
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "lvtool %s: %s\n", cmd.c_str(), e.what());
     return 1;

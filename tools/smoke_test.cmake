@@ -25,3 +25,11 @@ run(${LVTOOL} optimize ${NETLIST} -o ${WORK}/opt.lvnet)
 run(${LVTOOL} stats ${WORK}/opt.lvnet)
 run(${LVTOOL} gen wmul 4 -o ${WORK}/wmul.lvnet)
 run(${LVTOOL} timing ${WORK}/wmul.lvnet soi_low_vt)
+
+# Run-metrics sink: the report must land on disk and carry the schema tag.
+run(${LVTOOL} simulate ${NETLIST} --vectors 200 --stats
+    --stats-json ${WORK}/run_report.json)
+file(READ ${WORK}/run_report.json _report)
+if(NOT _report MATCHES "lv-run-report/1")
+  message(FATAL_ERROR "stats json missing schema tag: ${_report}")
+endif()
