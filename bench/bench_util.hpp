@@ -7,6 +7,7 @@
 #include <fstream>
 #include <string>
 
+#include "check/parse.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
@@ -18,10 +19,19 @@ namespace lv::bench {
 inline void apply_thread_args(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i)
     if (std::string{argv[i]} == "--threads") {
-      const long long n = std::atoll(argv[i + 1]);
-      // Ignore garbage/negative values rather than exploding the width
-      // (a negative cast to size_t would request one worker per task).
-      if (n >= 0) lv::exec::set_thread_count(static_cast<std::size_t>(n));
+      // Checked: garbage or a negative width is a usage error (exit 2,
+      // matching lvtool's input-error code), not something to silently
+      // ignore — a negative cast to size_t would request one worker per
+      // task.
+      const auto n = lv::check::parse_int(argv[i + 1]);
+      if (!n || *n < 0) {
+        std::fprintf(stderr,
+                     "error: [cli.number] --threads expects a non-negative "
+                     "integer, got '%s'\n",
+                     argv[i + 1]);
+        std::exit(2);
+      }
+      lv::exec::set_thread_count(static_cast<std::size_t>(*n));
     }
 }
 
@@ -36,15 +46,26 @@ inline bool& stats_text_requested() {
 }
 
 // atexit hook: every bench main ends via normal return, so the report
-// lands after the last figure/table is printed.
-inline void emit_stats_report() {
-  const lv::obs::RunReport report = lv::obs::Registry::global().report();
-  if (!stats_json_path().empty()) {
-    std::ofstream out{stats_json_path(), std::ios::binary};
-    if (out) out << report.to_json();
+// lands after the last figure/table is printed. Must not let anything
+// propagate — an exception escaping an atexit handler is std::terminate,
+// and a failed stats write should not turn a finished bench run into an
+// abort. I/O failures are reported on stderr instead.
+inline void emit_stats_report() noexcept {
+  try {
+    const lv::obs::RunReport report = lv::obs::Registry::global().report();
+    if (!stats_json_path().empty()) {
+      std::ofstream out{stats_json_path(), std::ios::binary};
+      if (!out || !(out << report.to_json()))
+        std::fprintf(stderr, "warning: could not write stats to '%s'\n",
+                     stats_json_path().c_str());
+    }
+    if (stats_text_requested())
+      std::fputs(report.to_text().c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "warning: stats report failed: %s\n", e.what());
+  } catch (...) {
+    std::fputs("warning: stats report failed\n", stderr);
   }
-  if (stats_text_requested())
-    std::fputs(report.to_text().c_str(), stdout);
 }
 }  // namespace detail
 

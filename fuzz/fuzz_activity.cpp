@@ -1,0 +1,49 @@
+// Fuzz target for the lvact parser. Activity files only make sense
+// against a netlist, so inputs are parsed against a small fixed netlist
+// whose net names (a, b, w, y) appear in the seed corpus. Accepted stats
+// must serialize -> reparse to a fixed point and survive the semantic
+// validator; rejected inputs must throw util::Error.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "check/diag.hpp"
+#include "check/validate.hpp"
+#include "circuit/netlist_io.hpp"
+#include "sim/activity_io.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxInput = 1 << 16;
+
+const lv::circuit::Netlist& harness_netlist() {
+  static const lv::circuit::Netlist nl = lv::circuit::parse_netlist_text(
+      "lvnet 1\ninput a\ninput b\nnet w\nnet y\n"
+      "gate g1 NAND2 w a b\ngate g2 INV y w\noutput y\n");
+  return nl;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxInput) return 0;
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+  const auto& nl = harness_netlist();
+  try {
+    const auto stats = lv::sim::parse_activity_text(nl, text);
+
+    lv::check::DiagSink sink;
+    lv::check::validate(nl, stats, sink);
+
+    if (sink.ok()) {
+      const std::string once = lv::sim::to_activity_text(nl, stats);
+      const auto back = lv::sim::parse_activity_text(nl, once);
+      const std::string twice = lv::sim::to_activity_text(nl, back);
+      if (once != twice) __builtin_trap();
+    }
+  } catch (const lv::util::Error&) {
+  }
+  return 0;
+}

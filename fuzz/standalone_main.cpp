@@ -1,0 +1,134 @@
+// Standalone driver for the fuzz targets when libFuzzer is unavailable
+// (the default local build: GCC has no -fsanitize=fuzzer). Replays every
+// file in the given corpus directories through LLVMFuzzerTestOneInput,
+// then optionally runs cheap deterministic byte mutations of each seed:
+//
+//   fuzz_netlist <corpus-dir-or-file>... [--mutations N] [--seed S]
+//               [--artifact PATH]
+//
+// Exit 0 when every input ran clean; a crash/trap terminates the process
+// (the sanitizer or trap reports the failure), after --artifact wrote the
+// offending input for replay. With libFuzzer enabled (LVSIM_LIBFUZZER=ON)
+// this file is not compiled; libFuzzer supplies main().
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_bytes(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// The pending input is persisted *before* the run so a crash (which never
+// returns) still leaves the reproducer on disk.
+void save_artifact(const std::string& artifact,
+                   const std::vector<std::uint8_t>& bytes) {
+  if (artifact.empty()) return;
+  std::ofstream out{artifact, std::ios::binary | std::ios::trunc};
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+void mutate(std::vector<std::uint8_t>& bytes, lv::util::Xoshiro256& rng) {
+  if (bytes.empty()) {
+    bytes.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    return;
+  }
+  switch (rng.next_below(4)) {
+    case 0:  // flip a bit
+      bytes[rng.next_below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.next_below(8));
+      break;
+    case 1:  // overwrite a byte
+      bytes[rng.next_below(bytes.size())] =
+          static_cast<std::uint8_t>(rng.next_u64());
+      break;
+    case 2:  // insert a byte
+      bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                       rng.next_below(bytes.size() + 1)),
+                   static_cast<std::uint8_t>(rng.next_u64()));
+      break;
+    default:  // delete a byte
+      bytes.erase(bytes.begin() +
+                  static_cast<std::ptrdiff_t>(rng.next_below(bytes.size())));
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  int mutations = 0;
+  std::uint64_t seed = 1;
+  std::string artifact;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mutations") mutations = std::atoi(value());
+    else if (arg == "--seed") seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--artifact") artifact = value();
+    else inputs.emplace_back(arg);
+  }
+
+  // Sorted replay: deterministic order regardless of directory iteration.
+  std::vector<fs::path> files;
+  for (const auto& in : inputs) {
+    if (fs::is_directory(in)) {
+      for (const auto& entry : fs::directory_iterator(in))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+    } else if (fs::is_regular_file(in)) {
+      files.push_back(in);
+    } else {
+      std::fprintf(stderr, "error: no such corpus input '%s'\n",
+                   in.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t runs = 0;
+  lv::util::Xoshiro256 rng{seed};
+  for (const auto& f : files) {
+    const auto original = read_bytes(f);
+    save_artifact(artifact, original);
+    LLVMFuzzerTestOneInput(original.data(), original.size());
+    ++runs;
+    for (int m = 0; m < mutations; ++m) {
+      auto mutated = original;
+      // A few stacked mutations per run reaches deeper than single flips.
+      const auto stack = 1 + rng.next_below(4);
+      for (std::uint64_t s = 0; s < stack; ++s) mutate(mutated, rng);
+      save_artifact(artifact, mutated);
+      LLVMFuzzerTestOneInput(mutated.data(), mutated.size());
+      ++runs;
+    }
+  }
+
+  if (!artifact.empty()) fs::remove(artifact);  // clean exit: nothing to keep
+  std::printf("%zu input(s) ran clean over %zu corpus file(s)\n", runs,
+              files.size());
+  return files.empty() ? 2 : 0;
+}

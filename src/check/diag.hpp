@@ -1,0 +1,106 @@
+// Structured diagnostics for input validation.
+//
+// A Diag is one machine-readable finding about an input: a severity, a
+// stable dotted code (see check/codes.hpp), a human message, and a source
+// location. DiagSink collects them; InputError carries exactly one across
+// a throw so ingestion boundaries (parsers, loaders, CLI option handling)
+// can keep the repo's throw-at-boundary contract while still reporting a
+// coded, located diagnostic.
+//
+// Layering note: this header is self-contained (all members inline) so
+// the parser modules below lv_check (tech, circuit, sim) can *throw*
+// InputError without linking lv_check. The collecting/reporting side
+// (DiagSink rendering, the semantic validators) lives in lv_check proper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lv::check {
+
+enum class Severity { note, warning, error };
+
+inline const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::note: return "note";
+    case Severity::warning: return "warning";
+    default: return "error";
+  }
+}
+
+struct SourceLoc {
+  std::string file;  // "" = in-memory text / not file-backed
+  int line = 0;      // 1-based; 0 = whole input (no line to point at)
+};
+
+struct Diag {
+  Severity severity = Severity::error;
+  std::string code;     // stable machine-readable id, e.g. "tech.nonfinite"
+  std::string message;  // human text, location-free
+  SourceLoc loc;
+
+  // "file:3: error: [net.cycle] message" (parts omitted when absent).
+  std::string to_string() const;
+};
+
+// Collects diagnostics; never throws. `ok()` means no errors (warnings
+// and notes are allowed). to_json() emits the lv-diag/1 schema documented
+// in docs/FORMATS.md.
+class DiagSink {
+ public:
+  void report(Diag d);
+  // File name stamped onto incoming diags that carry none of their own
+  // (the semantic validators don't know which file their object came
+  // from; the loader does).
+  void set_context_file(std::string file) { context_file_ = std::move(file); }
+  void error(std::string code, std::string message, SourceLoc loc = {});
+  void warning(std::string code, std::string message, SourceLoc loc = {});
+  void note(std::string code, std::string message, SourceLoc loc = {});
+
+  const std::vector<Diag>& diags() const { return diags_; }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool ok() const { return errors_ == 0; }
+  bool empty() const { return diags_.empty(); }
+  // True when any collected diag carries `code`.
+  bool has(std::string_view code) const;
+
+  std::string to_text() const;
+  std::string to_json(bool pretty = true) const;
+
+ private:
+  std::vector<Diag> diags_;
+  std::string context_file_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+// Error thrown at ingestion boundaries (parsers, file loading, CLI option
+// parsing, invariant guards catching poisoned numerics). Derives
+// util::Error so every existing catch site keeps working; carries the
+// structured diagnostic so callers that care (lvtool, check::load_*) can
+// map it to an exit code or a DiagSink entry. what() stays the plain
+// human message (legacy format, e.g. "techfile line 3: ...").
+class InputError : public util::Error {
+ public:
+  explicit InputError(Diag diag)
+      : util::Error(diag.message), diag_(std::move(diag)) {}
+  InputError(std::string code, std::string message, SourceLoc loc = {})
+      : util::Error(message),
+        diag_{Severity::error, std::move(code), std::move(message),
+              std::move(loc)} {}
+
+  const Diag& diag() const { return diag_; }
+  const std::string& code() const { return diag_.code; }
+  int line() const { return diag_.loc.line; }
+
+ private:
+  Diag diag_;
+};
+
+}  // namespace lv::check

@@ -1,0 +1,44 @@
+// Validated ingestion: one entry point per external input format that
+// parses *and* deep-validates before anything downstream sees the object.
+//
+// Two forms per format. The collecting form (`load_*`) reports every
+// finding into a DiagSink and returns nullopt on errors — this is what
+// `lvtool check` uses to show a complete report. The throwing form
+// (`require_*`) is the boundary used by commands that just want a good
+// object or a single InputError (exit code 2 at the CLI).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "check/diag.hpp"
+#include "check/validate.hpp"
+
+namespace lv::check {
+
+// Reads a whole file into memory; throws InputError(io.open) when the
+// file cannot be opened or read.
+std::string read_file(const std::string& path);
+
+// Collecting loaders. `filename` only labels the diagnostics; the text is
+// already in memory. Warnings alone still yield a value.
+std::optional<tech::Process> load_techfile_text(
+    std::string_view text, DiagSink& sink, const std::string& filename = "");
+std::optional<circuit::Netlist> load_netlist_text(
+    std::string_view text, DiagSink& sink, const std::string& filename = "");
+std::optional<sim::ActivityStats> load_activity_text(
+    const circuit::Netlist& netlist, std::string_view text, DiagSink& sink,
+    const std::string& filename = "");
+
+// Throwing boundary forms: the first error diagnostic becomes the thrown
+// InputError.
+tech::Process require_techfile(std::string_view text,
+                               const std::string& filename = "");
+circuit::Netlist require_netlist(std::string_view text,
+                                 const std::string& filename = "");
+sim::ActivityStats require_activity(const circuit::Netlist& netlist,
+                                    std::string_view text,
+                                    const std::string& filename = "");
+
+}  // namespace lv::check

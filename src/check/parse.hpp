@@ -1,0 +1,51 @@
+// Checked number parsing for option/argument handling. The CLI contract
+// is that `--vdd oops` exits 2 with a diagnostic instead of silently
+// running at atof's 0.0; these helpers are what lvtool and the bench
+// binaries use instead of std::atof/atoi. Header-only so anything that
+// can include lv_check headers can use them without new link edges.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "check/codes.hpp"
+#include "check/diag.hpp"
+
+namespace lv::check {
+
+// Full-token parses: the entire string must be consumed (so "1.5x" and
+// "" fail). from_chars accepts nan/inf spellings for doubles; callers
+// that need finite values validate separately.
+inline std::optional<double> parse_double(std::string_view text) {
+  double out = 0.0;
+  const char* last = text.data() + text.size();
+  const auto r = std::from_chars(text.data(), last, out);
+  if (r.ec != std::errc{} || r.ptr != last) return std::nullopt;
+  return out;
+}
+
+inline std::optional<long long> parse_int(std::string_view text) {
+  long long out = 0;
+  const char* last = text.data() + text.size();
+  const auto r = std::from_chars(text.data(), last, out);
+  if (r.ec != std::errc{} || r.ptr != last) return std::nullopt;
+  return out;
+}
+
+// Throwing forms for CLI boundaries: `what` names the option or argument
+// in the diagnostic (e.g. "--vdd").
+inline double require_double(std::string_view text, const std::string& what) {
+  if (const auto v = parse_double(text)) return *v;
+  throw InputError(codes::cli_number, what + " expects a number, got '" +
+                                          std::string(text) + "'");
+}
+
+inline long long require_int(std::string_view text, const std::string& what) {
+  if (const auto v = parse_int(text)) return *v;
+  throw InputError(codes::cli_number, what + " expects an integer, got '" +
+                                          std::string(text) + "'");
+}
+
+}  // namespace lv::check

@@ -1,0 +1,43 @@
+// Semantic validators for every ingestion domain. Each overload walks one
+// parsed object and reports *all* findings into the sink (it never throws
+// and never stops at the first problem — `lvtool check` shows the user
+// everything at once). Errors mean the object will poison downstream
+// power/timing/optimum-V_T numbers; warnings flag suspicious-but-usable
+// inputs (dead nets, bus index gaps, physically odd ranges).
+//
+// The checks here are a strict superset of the construction-time
+// invariants (`Process::validate`, `Netlist::validate`): everything those
+// throw on is reported as a coded diagnostic, plus the deep physical /
+// structural checks that only matter for external inputs (NaN/Inf fields,
+// parameter ranges from the device literature, bus consistency,
+// activity-count plausibility).
+#pragma once
+
+#include "check/diag.hpp"
+#include "circuit/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "tech/process.hpp"
+
+namespace lv::check {
+
+// Physical sanity of a process description: every numeric field finite;
+// positivity of capacitances, currents, drive constants, and geometry;
+// literature ranges (alpha in [1,2], n_sub in [1,3], subthreshold slope
+// sane); vdd_min <= vdd_nominal <= vdd_max; NMOS/PMOS slot consistency;
+// per-VT-control requirements (SOIAS geometry, dual-VT offset).
+void validate(const tech::Process& process, DiagSink& sink);
+
+// Structural sanity of a netlist: pin counts vs the cell catalog, nets
+// used but never driven, combinational cycles (reported with the gates on
+// the loop), flop clocking, plus warnings for dangling nets, missing
+// primary outputs, and bus index gaps (a0/a2 declared but a1 missing).
+void validate(const circuit::Netlist& netlist, DiagSink& sink);
+
+// Plausibility of activity statistics against their netlist: settled
+// changes can never exceed transitions (glitches only add), a net's
+// settled value changes at most once per cycle, and non-zero counts
+// require a non-zero cycle total.
+void validate(const circuit::Netlist& netlist, const sim::ActivityStats& stats,
+              DiagSink& sink);
+
+}  // namespace lv::check

@@ -1,0 +1,34 @@
+#include <string>
+
+#include "check/codes.hpp"
+#include "check/validate.hpp"
+
+namespace lv::check {
+
+void validate(const circuit::Netlist& netlist, const sim::ActivityStats& stats,
+              DiagSink& sink) {
+  const std::uint64_t cycles = stats.cycles();
+  for (circuit::NetId n = 0; n < netlist.net_count(); ++n) {
+    const std::uint64_t transitions = stats.transitions(n);
+    const std::uint64_t settled = stats.settled_changes(n);
+    const std::string& name = netlist.net(n).name;
+    if (settled > transitions)
+      sink.error(codes::act_count_order,
+                 "net '" + name + "': settled changes (" +
+                     std::to_string(settled) + ") exceed transitions (" +
+                     std::to_string(transitions) + ")");
+    // The settled value is sampled once per cycle, so it can change at
+    // most once per cycle; more means the counts were not produced by a
+    // cycle-based simulation of this netlist.
+    if (settled > cycles)
+      sink.error(codes::act_settled_exceeds_cycles,
+                 "net '" + name + "': " + std::to_string(settled) +
+                     " settled changes in " + std::to_string(cycles) +
+                     " cycles");
+    if (cycles == 0 && transitions > 0)
+      sink.error(codes::act_zero_cycles,
+                 "net '" + name + "' has transitions but the cycle count is 0");
+  }
+}
+
+}  // namespace lv::check

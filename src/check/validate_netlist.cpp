@@ -1,0 +1,196 @@
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/codes.hpp"
+#include "check/validate.hpp"
+
+namespace lv::check {
+
+namespace {
+
+namespace c = lv::circuit;
+using c::InstanceId;
+using c::NetId;
+
+constexpr InstanceId kNoDriver = ~InstanceId{0};
+
+// Splits "a12" into ("a", 12); returns false when the name has no
+// trailing digits (then it is not a bus bit).
+bool split_bus_name(const std::string& name, std::string& prefix,
+                    long& index) {
+  std::size_t digits = 0;
+  while (digits < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[name.size() - 1 - digits])))
+    ++digits;
+  if (digits == 0 || digits == name.size() || digits > 6) return false;
+  prefix = name.substr(0, name.size() - digits);
+  index = std::stol(name.substr(name.size() - digits));
+  return true;
+}
+
+class NetlistChecker {
+ public:
+  // Fanout is recomputed here rather than taken from Netlist::fanout():
+  // that accessor builds the topological cache as a side effect, which
+  // throws on exactly the cyclic netlists this checker must survive.
+  NetlistChecker(const c::Netlist& netlist, DiagSink& sink)
+      : nl_(netlist), sink_(sink), fanout_(netlist.net_count()) {
+    for (InstanceId i = 0; i < nl_.instance_count(); ++i)
+      for (const NetId in : nl_.instance(i).inputs)
+        fanout_[in].push_back(i);
+  }
+
+  void run() {
+    check_instances();
+    check_undriven_and_dangling();
+    check_cycles();
+    check_buses();
+    if (nl_.primary_outputs().empty() && nl_.instance_count() > 0)
+      sink_.warning(codes::net_no_outputs,
+                    "netlist has gates but no primary outputs");
+  }
+
+ private:
+  void check_instances() {
+    for (InstanceId i = 0; i < nl_.instance_count(); ++i) {
+      const c::Instance& inst = nl_.instance(i);
+      const c::CellInfo& info = c::cell_info(inst.kind);
+      if (inst.inputs.size() != static_cast<std::size_t>(info.input_count))
+        sink_.error(codes::net_arity,
+                    "gate '" + inst.name + "' (" + std::string(info.name) +
+                        ") has " + std::to_string(inst.inputs.size()) +
+                        " inputs, catalog says " +
+                        std::to_string(info.input_count));
+      if (info.sequential) {
+        const bool clocked = inst.inputs.size() == 2 &&
+                             nl_.clock_net() != c::kInvalidNet &&
+                             inst.inputs[1] == nl_.clock_net();
+        if (!clocked)
+          sink_.error(codes::net_clocking,
+                      "flop '" + inst.name +
+                          "' is not clocked by the declared clock net");
+      }
+    }
+  }
+
+  void check_undriven_and_dangling() {
+    for (NetId n = 0; n < nl_.net_count(); ++n) {
+      const c::Net& net = nl_.net(n);
+      const bool driven =
+          net.driver != kNoDriver || net.is_primary_input || net.is_clock;
+      if (!driven && !fanout_[n].empty()) {
+        // Name one consumer so the user can find the site.
+        const c::Instance& user = nl_.instance(fanout_[n].front());
+        sink_.error(codes::net_undriven, "net '" + net.name +
+                                             "' is used by gate '" +
+                                             user.name +
+                                             "' but has no driver");
+      }
+      if (driven && fanout_[n].empty() && !net.is_primary_output &&
+          !net.is_clock && !net.is_primary_input)
+        sink_.warning(codes::net_dangling,
+                      "net '" + net.name +
+                          "' drives nothing and is not an output");
+    }
+  }
+
+  // Kahn's algorithm over combinational instances; anything left with
+  // unresolved predecessors sits on (or behind) a combinational loop.
+  // This mirrors Netlist::topo_order() but reports instead of throwing,
+  // and names the gates involved.
+  void check_cycles() {
+    const std::size_t count = nl_.instance_count();
+    std::vector<int> pending(count, 0);
+    std::vector<InstanceId> ready;
+    for (InstanceId i = 0; i < count; ++i) {
+      const c::Instance& inst = nl_.instance(i);
+      if (c::cell_info(inst.kind).sequential) continue;
+      int preds = 0;
+      for (const NetId in : inst.inputs) {
+        const c::Net& net = nl_.net(in);
+        if (net.driver != kNoDriver &&
+            !c::cell_info(nl_.instance(net.driver).kind).sequential)
+          ++preds;
+      }
+      pending[i] = preds;
+      if (preds == 0) ready.push_back(i);
+    }
+    std::size_t resolved = 0;
+    std::size_t comb_count = 0;
+    for (InstanceId i = 0; i < count; ++i)
+      if (!c::cell_info(nl_.instance(i).kind).sequential) ++comb_count;
+    while (!ready.empty()) {
+      const InstanceId i = ready.back();
+      ready.pop_back();
+      ++resolved;
+      for (const InstanceId consumer : fanout_[nl_.instance(i).output]) {
+        if (c::cell_info(nl_.instance(consumer).kind).sequential) continue;
+        // A consumer may take the same net on several pins.
+        for (const NetId in : nl_.instance(consumer).inputs)
+          if (in == nl_.instance(i).output && --pending[consumer] == 0)
+            ready.push_back(consumer);
+      }
+    }
+    if (resolved == comb_count) return;
+    std::string members;
+    int shown = 0;
+    for (InstanceId i = 0; i < count && shown < 8; ++i) {
+      if (c::cell_info(nl_.instance(i).kind).sequential || pending[i] == 0)
+        continue;
+      if (shown++ > 0) members += ", ";
+      members += nl_.instance(i).name;
+    }
+    sink_.error(codes::net_cycle,
+                "combinational cycle through " +
+                    std::to_string(comb_count - resolved) +
+                    " gate(s), including: " + members);
+  }
+
+  // Bus-consistency heuristic over primary inputs and outputs: names of
+  // the form <prefix><index> with >= 2 members should cover a contiguous
+  // index range (a0, a2 with no a1 usually means a dropped bit in a
+  // generator or a hand-edited file).
+  void check_buses() {
+    check_bus_group(nl_.primary_inputs(), "input");
+    check_bus_group(nl_.primary_outputs(), "output");
+  }
+  void check_bus_group(const std::vector<NetId>& nets, const char* role) {
+    std::map<std::string, std::set<long>> groups;
+    for (const NetId n : nets) {
+      std::string prefix;
+      long index = 0;
+      if (split_bus_name(nl_.net(n).name, prefix, index))
+        groups[prefix].insert(index);
+    }
+    for (const auto& [prefix, indices] : groups) {
+      if (indices.size() < 2) continue;
+      const long lo = *indices.begin();
+      const long hi = *indices.rbegin();
+      if (hi - lo + 1 == static_cast<long>(indices.size())) continue;
+      for (long k = lo; k <= hi; ++k) {
+        if (indices.count(k)) continue;
+        sink_.warning(codes::net_bus_gap,
+                      std::string(role) + " bus '" + prefix + "' has bits " +
+                          std::to_string(lo) + ".." + std::to_string(hi) +
+                          " but no '" + prefix + std::to_string(k) + "'");
+        break;  // one gap report per bus is enough
+      }
+    }
+  }
+
+  const c::Netlist& nl_;
+  DiagSink& sink_;
+  std::vector<std::vector<InstanceId>> fanout_;
+};
+
+}  // namespace
+
+void validate(const circuit::Netlist& netlist, DiagSink& sink) {
+  NetlistChecker{netlist, sink}.run();
+}
+
+}  // namespace lv::check

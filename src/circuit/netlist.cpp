@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "check/codes.hpp"
+#include "check/diag.hpp"
 #include "util/error.hpp"
 
 namespace lv::circuit {
@@ -51,14 +53,18 @@ NetId Netlist::add_gate_onto(CellKind kind, const std::string& name,
                              const std::vector<NetId>& inputs, NetId out,
                              const std::string& module) {
   const CellInfo& info = cell_info(kind);
-  u::require(inputs.size() == static_cast<std::size_t>(info.input_count),
-             "Netlist: gate '" + name + "' (" + std::string(info.name) +
-                 ") has wrong input count");
+  if (inputs.size() != static_cast<std::size_t>(info.input_count))
+    throw check::InputError(check::codes::net_arity,
+                            "Netlist: gate '" + name + "' (" +
+                                std::string(info.name) +
+                                ") has wrong input count");
   for (const NetId in : inputs)
     u::require(in < nets_.size(), "Netlist: gate input net out of range");
   u::require(out < nets_.size(), "Netlist: gate output net out of range");
-  u::require(nets_[out].driver == ~InstanceId{0} && !nets_[out].is_primary_input,
-             "Netlist: net '" + nets_[out].name + "' already driven");
+  if (nets_[out].driver != ~InstanceId{0} || nets_[out].is_primary_input)
+    throw check::InputError(
+        check::codes::net_multi_driver,
+        "Netlist: net '" + nets_[out].name + "' already driven");
   const InstanceId id = static_cast<InstanceId>(instances_.size());
   instances_.push_back(Instance{name, kind, inputs, out, module});
   nets_[out].driver = id;
@@ -107,8 +113,9 @@ void Netlist::build_caches() const {
   std::size_t comb_count = 0;
   for (const Instance& inst : instances_)
     if (!cell_info(inst.kind).sequential) ++comb_count;
-  u::require(topo_cache_.size() == comb_count,
-             "Netlist: combinational cycle detected");
+  if (topo_cache_.size() != comb_count)
+    throw check::InputError(check::codes::net_cycle,
+                            "Netlist: combinational cycle detected");
   caches_valid_ = true;
 }
 

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <vector>
 
+#include "check/codes.hpp"
+#include "check/diag.hpp"
 #include "util/error.hpp"
 
 namespace lv::circuit {
@@ -32,13 +34,24 @@ std::string to_netlist_text(const Netlist& nl) {
   return out.str();
 }
 
-Netlist parse_netlist_text(std::string_view text) {
+Netlist parse_netlist_text(std::string_view text, bool validate) {
   Netlist nl;
   int line_no = 0;
   bool saw_header = false;
 
-  auto fail = [&](const std::string& message) -> void {
-    throw u::Error("netlist line " + std::to_string(line_no) + ": " + message);
+  auto fail = [&](const std::string& message,
+                  const char* code = check::codes::net_syntax) -> void {
+    throw check::InputError(
+        code, "netlist line " + std::to_string(line_no) + ": " + message,
+        {"", line_no});
+  };
+  // Names with a "module=" prefix are reserved: a net so named would
+  // serialize as the optional module tag of a gate line and not survive
+  // the round-trip.
+  auto check_name = [&](const std::string& name) -> void {
+    if (name.rfind("module=", 0) == 0)
+      fail("name '" + name + "' is reserved ('module=' prefix)",
+           check::codes::net_reserved_name);
   };
 
   std::size_t pos = 0;
@@ -65,17 +78,21 @@ Netlist parse_netlist_text(std::string_view text) {
 
     if (tok[0] == "input") {
       if (tok.size() != 2) fail("input takes one name");
+      check_name(tok[1]);
       nl.add_input(tok[1]);
     } else if (tok[0] == "clock") {
       if (tok.size() != 2) fail("clock takes one name");
+      check_name(tok[1]);
       nl.add_clock(tok[1]);
     } else if (tok[0] == "net") {
       if (tok.size() != 2) fail("net takes one name");
+      check_name(tok[1]);
       nl.add_net(tok[1]);
     } else if (tok[0] == "output") {
       if (tok.size() != 2) fail("output takes one name");
       const NetId id = nl.find_net(tok[1]);
-      if (id == kInvalidNet) fail("unknown net '" + tok[1] + "'");
+      if (id == kInvalidNet)
+        fail("unknown net '" + tok[1] + "'", check::codes::net_unknown_net);
       nl.mark_output(id);
     } else if (tok[0] == "gate") {
       if (tok.size() < 4) fail("gate needs name, kind, and output");
@@ -83,19 +100,27 @@ Netlist parse_netlist_text(std::string_view text) {
       if (tok.back().rfind("module=", 0) == 0) {
         module = tok.back().substr(7);
         tok.pop_back();
+        if (tok.size() < 4) fail("gate needs name, kind, and output");
       }
+      check_name(tok[1]);
+      check_name(tok[3]);
       const CellKind kind = cell_kind_from_name(tok[2]);
-      if (kind == CellKind::kind_count) fail("unknown cell '" + tok[2] + "'");
+      if (kind == CellKind::kind_count)
+        fail("unknown cell '" + tok[2] + "'", check::codes::net_unknown_cell);
       NetId out_net = nl.find_net(tok[3]);
       if (out_net == kInvalidNet) out_net = nl.add_net(tok[3]);
       std::vector<NetId> ins;
       for (std::size_t i = 4; i < tok.size(); ++i) {
         const NetId in = nl.find_net(tok[i]);
-        if (in == kInvalidNet) fail("unknown input net '" + tok[i] + "'");
+        if (in == kInvalidNet)
+          fail("unknown input net '" + tok[i] + "'",
+               check::codes::net_unknown_net);
         ins.push_back(in);
       }
       try {
         nl.add_gate_onto(kind, tok[1], ins, out_net, module);
+      } catch (const check::InputError& e) {
+        fail(e.what(), e.diag().code.c_str());
       } catch (const u::Error& e) {
         fail(e.what());
       }
@@ -103,8 +128,9 @@ Netlist parse_netlist_text(std::string_view text) {
       fail("unknown statement '" + tok[0] + "'");
     }
   }
-  if (!saw_header) throw u::Error("netlist: empty input");
-  nl.validate();
+  if (!saw_header)
+    throw check::InputError(check::codes::net_syntax, "netlist: empty input");
+  if (validate) nl.validate();
   return nl;
 }
 

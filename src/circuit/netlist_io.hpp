@@ -22,8 +22,12 @@ namespace lv::circuit {
 
 std::string to_netlist_text(const Netlist& netlist);
 
-// Throws lv::util::Error with a line number on malformed input; the
-// returned netlist has been validate()d.
-Netlist parse_netlist_text(std::string_view text);
+// Throws lv::check::InputError (a lv::util::Error carrying a coded
+// diagnostic with the line number) on malformed input. With `validate`
+// (the default) the returned netlist has been validate()d — which throws
+// on combinational cycles; lv::check's loaders pass false and run the
+// deeper coded validators instead. Names may not start with "module="
+// (reserved by the gate-statement grammar).
+Netlist parse_netlist_text(std::string_view text, bool validate = true);
 
 }  // namespace lv::circuit

@@ -57,6 +57,7 @@ DualVtResult assign_dual_vt(const circuit::Netlist& netlist,
 
   DualVtResult result;
   result.use_high_vt.assign(count, false);
+  int sta_evals = 0;
 
   const auto base = sta.run(1.0);  // period irrelevant for delays
   result.delay_before = base.critical_delay;
@@ -74,6 +75,7 @@ DualVtResult assign_dual_vt(const circuit::Netlist& netlist,
 
   std::vector<InstanceId> pending;
   auto commit_or_revert = [&]() {
+    ++sta_evals;
     const auto timed = sta.run(result.clock_period, shifts);
     if (timed.critical_delay <= result.clock_period) {
       for (const InstanceId i : pending) result.use_high_vt[i] = true;
@@ -90,6 +92,7 @@ DualVtResult assign_dual_vt(const circuit::Netlist& netlist,
     // below. Rejecting those in parallel and replaying only the
     // survivors serially (in order, with accumulation) makes the same
     // decisions as the all-serial retry, bit for bit.
+    sta_evals += static_cast<int>(pending.size());
     const auto alone_ok = exec::parallel_map_stateful<char>(
         pending.size(), [&] { return ctx.clone(); },
         [&](analysis::AnalysisContext& wctx, std::size_t k) {
@@ -104,6 +107,7 @@ DualVtResult assign_dual_vt(const circuit::Netlist& netlist,
       if (!alone_ok[k]) continue;
       const InstanceId i = pending[k];
       shifts[i] = process.high_vt_offset;
+      ++sta_evals;
       const auto single = sta.run(result.clock_period, shifts);
       if (single.critical_delay <= result.clock_period) {
         result.use_high_vt[i] = true;
@@ -124,8 +128,17 @@ DualVtResult assign_dual_vt(const circuit::Netlist& netlist,
   if (!pending.empty()) commit_or_revert();
 
   const auto final_timing = sta.run(result.clock_period, shifts);
+  sta_evals += 3;  // base, slack ordering, and this final pass
   result.delay_after = final_timing.critical_delay;
   result.leakage_after = total_leakage(netlist, process, vdd, shifts);
+  const double slack = result.clock_period - result.delay_after;
+  if (result.delay_after <= result.clock_period)
+    result.status = Convergence::success(sta_evals, slack);
+  else
+    result.status = Convergence::failure(
+        sta_evals, slack,
+        "mixed-VT assignment misses the clock period by " +
+            std::to_string(-slack) + " s despite reverts");
   return result;
 }
 
@@ -146,17 +159,28 @@ MtcmosSizing size_sleep_transistor(const tech::Process& process, double vdd,
   // meeting the bound by bisection over a generous range.
   const double w_lo = 0.1;
   const double w_hi = 20.0 * logic_width_mult + 10.0;
-  if (penalty_at(w_hi) > max_penalty) return out;  // infeasible even huge
+  if (penalty_at(w_hi) > max_penalty) {
+    // Unbracketable: the bound is violated even at the widest footer, so
+    // no width in (0, w_hi] can meet it.
+    out.status = Convergence::failure(
+        1, penalty_at(w_hi) - max_penalty,
+        "delay penalty bound " + std::to_string(max_penalty) +
+            " unreachable: even a " + std::to_string(w_hi) +
+            "x footer gives " + std::to_string(penalty_at(w_hi)));
+    return out;
+  }
   double lo = w_lo;
   double hi = w_hi;
+  int iters = 0;
   if (penalty_at(w_lo) <= max_penalty) {
     hi = w_lo;
   } else {
-    for (int iter = 0; iter < 80 && (hi - lo) > 1e-3; ++iter) {
+    for (; iters < 80 && (hi - lo) > 1e-3; ++iters) {
       const double mid = 0.5 * (lo + hi);
       (penalty_at(mid) <= max_penalty ? hi : lo) = mid;
     }
   }
+  out.status = Convergence::success(iters, hi - lo);
   out.sleep_width_mult = hi;
   out.delay_penalty = penalty_at(hi);
   const auto sleep = process.make_high_vt_nmos(hi);

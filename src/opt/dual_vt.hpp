@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "opt/status.hpp"
 #include "tech/process.hpp"
 #include "timing/sta.hpp"
 
@@ -28,6 +29,11 @@ struct DualVtResult {
   double leakage_before = 0.0;    // all-low-VT leakage current [A]
   double leakage_after = 0.0;     // mixed-VT leakage current [A]
   double clock_period = 0.0;      // the constraint used [s]
+  // iterations = STA evaluations the greedy consumed; residual = final
+  // slack (clock_period - delay_after) [s]. Not converged when the mixed
+  // assignment misses the period — the greedy reverts every violating
+  // move, so this indicates numerically inconsistent timing.
+  Convergence status;
 };
 
 // `period_margin` sets the clock period as (1 + period_margin) x the
@@ -44,6 +50,10 @@ struct MtcmosSizing {
   double standby_leakage = 0.0;    // gated block standby current [A]
   double unguarded_leakage = 0.0;  // same block without a footer [A]
   bool feasible = false;
+  // iterations = bisection steps over the footer width; residual = final
+  // width-bracket size [unit widths]. Not converged when even the widest
+  // footer in range exceeds the delay-penalty bound.
+  Convergence status;
 };
 
 // Sizes a high-VT footer for a block whose low-VT devices total

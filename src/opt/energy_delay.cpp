@@ -53,8 +53,10 @@ EnergyDelayResult explore_energy_delay(const circuit::Netlist& netlist,
         return pt;
       });
 
+  double fastest = 0.0;
   for (const auto& pt : result.sweep) {
     if (!pt.feasible) continue;
+    if (fastest == 0.0 || pt.delay < fastest) fastest = pt.delay;
     if (!result.min_edp.feasible || pt.edp < result.min_edp.edp)
       result.min_edp = pt;
     if (!result.min_ed2.feasible ||
@@ -67,6 +69,19 @@ EnergyDelayResult explore_energy_delay(const circuit::Netlist& netlist,
          pt.energy < result.min_energy_capped.energy))
       result.min_energy_capped = pt;
   }
+  if (!result.min_edp.feasible)
+    result.status = Convergence::failure(
+        points, 0.0,
+        "no feasible supply in [" + std::to_string(vdd_lo) + ", " +
+            std::to_string(vdd_hi) + "] V: devices do not conduct");
+  else if (delay_cap > 0.0 && !result.min_energy_capped.feasible)
+    result.status = Convergence::failure(
+        points, fastest,
+        "delay cap " + std::to_string(delay_cap) +
+            " s unmet at every supply (fastest feasible: " +
+            std::to_string(fastest) + " s)");
+  else
+    result.status = Convergence::success(points, fastest);
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "opt/status.hpp"
 #include "tech/process.hpp"
 
 namespace lv::opt {
@@ -31,6 +32,11 @@ struct EnergyDelayResult {
   // Lowest-energy feasible point with delay <= delay_cap (the
   // throughput-constrained answer); invalid when nothing meets the cap.
   EnergyDelayPoint min_energy_capped;
+  // iterations = supply grid points evaluated (one STA + power run each);
+  // residual = fastest critical delay seen [s] (0 when nothing was
+  // feasible). Not converged when no supply in range is feasible, or a
+  // delay cap was requested and no point meets it.
+  Convergence status;
 };
 
 // Sweeps vdd over [vdd_lo, vdd_hi]; `alpha` is the assumed uniform node

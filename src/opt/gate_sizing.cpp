@@ -64,7 +64,9 @@ SizingResult downsize_gates(const circuit::Netlist& netlist,
     result.sizes[i] = s;
     sized.set_instance_size(i, s);
   };
+  int sta_evals = 0;
   auto time_sized = [&](double period) {
+    ++sta_evals;
     return sta.run_with_loads(period, shifts, sized);
   };
 
@@ -114,6 +116,14 @@ SizingResult downsize_gates(const circuit::Netlist& netlist,
   result.delay_after = final_timing.critical_delay;
   result.cap_after = sized.total_cap();
   result.leakage_after = total_leakage(netlist, process, vdd, result.sizes);
+  const double slack = result.clock_period - result.delay_after;
+  if (result.delay_after <= result.clock_period)
+    result.status = Convergence::success(sta_evals, slack);
+  else
+    result.status = Convergence::failure(
+        sta_evals, slack,
+        "sized netlist misses the clock period by " +
+            std::to_string(-slack) + " s despite reverts");
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "circuit/netlist.hpp"
+#include "opt/status.hpp"
 #include "tech/process.hpp"
 
 namespace lv::opt {
@@ -29,6 +30,11 @@ struct SizingResult {
   double cap_after = 0.0;         // [F]
   double leakage_before = 0.0;    // [A]
   double leakage_after = 0.0;     // [A]
+  // iterations = STA evaluations the greedy consumed; residual = final
+  // slack (clock_period - delay_after) [s]. Not converged when the sized
+  // netlist misses the period (should not happen: every violating move is
+  // reverted).
+  Convergence status;
 };
 
 SizingResult downsize_gates(const circuit::Netlist& netlist,

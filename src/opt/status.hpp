@@ -1,0 +1,35 @@
+// Explicit convergence reporting for the optimizers.
+//
+// Every optimizer in lv_opt returns one of these inside its result struct
+// instead of silently handing back a default-initialized answer when its
+// search fails (unbracketable optimum, infeasible constraint, exhausted
+// iteration budget). Callers that ignore it keep working — the numeric
+// fields still carry the best effort — but lvtool and the tests inspect
+// it, and a non-converged status names why in `reason`.
+//
+// This is the steady-state half of the repo's error contract (see
+// docs/ARCHITECTURE.md): precondition violations at the API boundary
+// still throw; a search that *ran* but failed to converge reports status.
+#pragma once
+
+#include <string>
+
+namespace lv::opt {
+
+struct Convergence {
+  bool converged = false;
+  int iterations = 0;     // solver/STA evaluations consumed
+  double residual = 0.0;  // optimizer-specific closeness measure (see each
+                          // result struct for its meaning)
+  std::string reason;     // empty when converged; names the failure mode
+
+  static Convergence success(int iterations, double residual = 0.0) {
+    return {true, iterations, residual, {}};
+  }
+  static Convergence failure(int iterations, double residual,
+                             std::string reason) {
+    return {false, iterations, residual, std::move(reason)};
+  }
+};
+
+}  // namespace lv::opt

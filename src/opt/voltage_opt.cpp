@@ -89,20 +89,39 @@ VtSweepResult optimize_vt(const tech::Process& process,
   for (const auto& pt : result.sweep)
     if (pt.feasible && (!best || pt.total_energy < best->total_energy))
       best = &pt;
-  if (!best) return result;  // nothing feasible in range
+  if (!best) {
+    // Every grid point failed its iso-delay solve: the target frequency
+    // is unreachable at any threshold in range (unbracketable optimum).
+    result.status = Convergence::failure(
+        points, 0.0,
+        "no feasible (vt, vdd) point: target frequency unreachable at "
+        "every threshold in [" + std::to_string(vt_lo) + ", " +
+            std::to_string(vt_hi) + "] V");
+    return result;
+  }
 
   auto energy_of = [&](double vt) {
     const auto pt = ring_energy_at_vt(process, ring, vt, f_clk, activity);
     return pt.feasible ? pt.total_energy : 1e30;
   };
   const double span = (vt_hi - vt_lo) / (points - 1);
-  const auto refined = u::golden_minimize(
-      energy_of, std::max(vt_lo, best->vt - span),
-      std::min(vt_hi, best->vt + span), 1e-5);
+  const double bracket_lo = std::max(vt_lo, best->vt - span);
+  const double bracket_hi = std::min(vt_hi, best->vt + span);
+  const auto refined =
+      u::golden_minimize(energy_of, bracket_lo, bracket_hi, 1e-5);
   result.optimum =
       ring_energy_at_vt(process, ring, refined.x, f_clk, activity);
   if (!result.optimum.feasible || result.optimum.total_energy > best->total_energy)
     result.optimum = *best;
+  // Final golden-section bracket width: each step shrinks it by 1/phi.
+  const double bracket = (bracket_hi - bracket_lo) *
+                         std::pow(0.6180339887498949, refined.iterations);
+  if (refined.converged)
+    result.status = Convergence::success(points + refined.iterations, bracket);
+  else
+    result.status = Convergence::failure(
+        points + refined.iterations, bracket,
+        "golden-section refinement exhausted its iteration budget");
   return result;
 }
 

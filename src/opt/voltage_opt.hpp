@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "opt/status.hpp"
 #include "tech/process.hpp"
 #include "timing/delay_model.hpp"
 
@@ -54,6 +55,11 @@ EnergyPoint ring_energy_at_vt(const tech::Process& process,
 struct VtSweepResult {
   std::vector<EnergyPoint> sweep;
   EnergyPoint optimum;
+  // iterations = grid evaluations + golden-section refinement steps;
+  // residual = width of the final refinement bracket [V]. Not converged
+  // when no threshold in range meets the frequency (optimum.feasible is
+  // then false) or the refinement hit its iteration cap.
+  Convergence status;
 };
 
 // Sweeps vt over [vt_lo, vt_hi] (n points) at fixed throughput and locates

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/codes.hpp"
+#include "check/diag.hpp"
 #include "device/capacitance.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -30,6 +32,33 @@ lv::obs::Counter& c_switching_terms() {
 lv::obs::Counter& c_leakage_terms() {
   static auto& c = lv::obs::Registry::global().counter("power.leakage_terms");
   return c;
+}
+
+// The accumulation loops stay guard-free (a per-term isfinite would cost
+// on the hot path); instead the finished breakdown is checked once, and
+// only on failure is the sum rescanned to name the offending term.
+[[noreturn]] void throw_nonfinite(const PowerBreakdown& out,
+                                  const circuit::Netlist& netlist,
+                                  const circuit::LoadModel& loads,
+                                  const sim::ActivityStats* stats,
+                                  double v2f) {
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    const double alpha = stats != nullptr ? stats->alpha(n) : 1.0;
+    if (!std::isfinite(alpha * loads.net_load(n) * v2f))
+      throw check::InputError(
+          check::codes::power_nonfinite,
+          "PowerEstimator: non-finite switching term on net '" +
+              netlist.net(n).name + "' (alpha = " + std::to_string(alpha) +
+              ", load = " + std::to_string(loads.net_load(n)) + " F)");
+  }
+  const char* component = !std::isfinite(out.leakage)   ? "leakage"
+                          : !std::isfinite(out.clock)   ? "clock"
+                          : !std::isfinite(out.switching) ? "switching"
+                                                          : "short-circuit";
+  throw check::InputError(
+      check::codes::power_nonfinite,
+      std::string("PowerEstimator: non-finite ") + component +
+          " component; check the process parameters and operating point");
 }
 
 }  // namespace
@@ -93,6 +122,8 @@ PowerBreakdown PowerEstimator::estimate(const sim::ActivityStats& stats) const {
   out.short_circuit = out.switching * short_circuit_fraction();
   out.leakage = leakage_current() * op.vdd;
   out.clock = loads.clock_cap() * v2f;
+  if (!std::isfinite(out.total()))
+    throw_nonfinite(out, netlist, loads, &stats, v2f);
   c_estimates().add(1);
   c_switching_terms().add(netlist.net_count());
   return out;
@@ -108,6 +139,8 @@ PowerBreakdown PowerEstimator::estimate_uniform(double alpha) const {
   out.short_circuit = out.switching * short_circuit_fraction();
   out.leakage = leakage_current() * op.vdd;
   out.clock = loads.clock_cap() * v2f;
+  if (!std::isfinite(out.total()))
+    throw_nonfinite(out, ctx_->netlist(), loads, nullptr, alpha * v2f);
   c_estimates().add(1);
   return out;
 }

@@ -3,6 +3,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "check/codes.hpp"
+#include "check/diag.hpp"
 #include "util/error.hpp"
 
 namespace lv::sim {
@@ -27,9 +29,11 @@ ActivityStats parse_activity_text(const circuit::Netlist& netlist,
   int line_no = 0;
   bool saw_header = false;
 
-  auto fail = [&](const std::string& message) -> void {
-    throw u::Error("activity line " + std::to_string(line_no) + ": " +
-                   message);
+  auto fail = [&](const std::string& message,
+                  const char* code = check::codes::act_syntax) -> void {
+    throw check::InputError(
+        code, "activity line " + std::to_string(line_no) + ": " + message,
+        {"", line_no});
   };
 
   std::size_t pos = 0;
@@ -64,15 +68,18 @@ ActivityStats parse_activity_text(const circuit::Netlist& netlist,
         fail("net needs <name> <transitions> <settled_changes>");
       const auto id = netlist.find_net(name);
       if (id == circuit::kInvalidNet)
-        fail("net '" + name + "' not in the netlist");
+        fail("net '" + name + "' not in the netlist",
+             check::codes::act_unknown_net);
       if (settled > transitions)
-        fail("settled changes exceed transitions for '" + name + "'");
+        fail("settled changes exceed transitions for '" + name + "'",
+             check::codes::act_count_order);
       stats.set_net_counts(id, transitions, settled);
     } else {
       fail("unknown statement '" + keyword + "'");
     }
   }
-  if (!saw_header) throw u::Error("activity: empty input");
+  if (!saw_header)
+    throw check::InputError(check::codes::act_syntax, "activity: empty input");
   return stats;
 }
 

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "check/codes.hpp"
+#include "check/diag.hpp"
 #include "util/error.hpp"
 
 namespace lv::tech {
@@ -53,8 +55,11 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-[[noreturn]] void fail(int line, const std::string& message) {
-  throw u::Error("techfile line " + std::to_string(line) + ": " + message);
+[[noreturn]] void fail(int line, const std::string& message,
+                       const char* code = check::codes::tech_syntax) {
+  throw check::InputError(
+      code, "techfile line " + std::to_string(line) + ": " + message,
+      {"", line});
 }
 
 double parse_number(std::string_view value, int line) {
@@ -64,7 +69,8 @@ double parse_number(std::string_view value, int line) {
   const char* last = value.data() + value.size();
   const auto result = std::from_chars(first, last, out);
   if (result.ec != std::errc{} || result.ptr != last)
-    fail(line, "expected a number, got '" + std::string(value) + "'");
+    fail(line, "expected a number, got '" + std::string(value) + "'",
+         check::codes::tech_number);
   return out;
 }
 
@@ -133,7 +139,7 @@ std::string to_techfile(const Process& t) {
   return out.str();
 }
 
-Process parse_techfile(std::string_view text) {
+Process parse_techfile(std::string_view text, bool validate) {
   Process t = soi_low_vt();  // defaults; files state what they change
   t.name = "unnamed";
   t.nmos.polarity = dev::Polarity::nmos;
@@ -195,25 +201,29 @@ Process parse_techfile(std::string_view text) {
         else if (key == "high_vt_offset") t.high_vt_offset = v;
         else if (key == "standby_body_bias") t.standby_body_bias = v;
         else if (key == "temp_k") t.temp_k = v;
-        else fail(line_no, "unknown [process] key '" + std::string(key) + "'");
+        else fail(line_no, "unknown [process] key '" + std::string(key) + "'",
+                  check::codes::tech_unknown_key);
       }
     } else if (section == "nmos" || section == "pmos") {
       auto& p = section == "nmos" ? t.nmos : t.pmos;
       if (!assign_mosfet_key(p, key, parse_number(value, line_no)))
-        fail(line_no, "unknown [" + section + "] key '" + std::string(key) + "'");
+        fail(line_no, "unknown [" + section + "] key '" + std::string(key) + "'",
+             check::codes::tech_unknown_key);
     } else if (section == "soias") {
       const double v = parse_number(value, line_no);
       if (key == "t_si") t.soias_geometry.t_si = v;
       else if (key == "t_box") t.soias_geometry.t_box = v;
       else if (key == "t_fox") t.soias_geometry.t_fox = v;
-      else fail(line_no, "unknown [soias] key '" + std::string(key) + "'");
+      else fail(line_no, "unknown [soias] key '" + std::string(key) + "'",
+                check::codes::tech_unknown_key);
     } else {
       fail(line_no, "key outside any section");
     }
   }
 
-  if (!saw_header) throw u::Error("techfile: empty input");
-  t.validate();
+  if (!saw_header)
+    throw check::InputError(check::codes::tech_syntax, "techfile: empty input");
+  if (validate) t.validate();
   return t;
 }
 

@@ -29,8 +29,11 @@ namespace lv::tech {
 // Serializes every field so the output round-trips exactly.
 std::string to_techfile(const Process& process);
 
-// Parses a tech file; throws lv::util::Error with a line number on any
-// syntax error, unknown section/key, or non-numeric value.
-Process parse_techfile(std::string_view text);
+// Parses a tech file; throws lv::check::InputError (a lv::util::Error
+// carrying a coded diagnostic with the line number) on any syntax error,
+// unknown section/key, or non-numeric value. `validate` runs the
+// construction-time Process::validate() invariants; lv::check's loaders
+// pass false and run the deeper coded validators instead.
+Process parse_techfile(std::string_view text, bool validate = true);
 
 }  // namespace lv::tech

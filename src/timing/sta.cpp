@@ -1,8 +1,11 @@
 #include "timing/sta.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
+#include "check/codes.hpp"
+#include "check/diag.hpp"
 #include "util/error.hpp"
 
 namespace lv::timing {
@@ -82,6 +85,23 @@ StaResult Sta::run_impl(double clock_period,
     for (const NetId in : inst.inputs)
       arrive = std::max(arrive, r.net_arrival[in]);
     r.net_arrival[inst.output] = arrive + d;
+  }
+
+  // Guard: a NaN/Inf gate delay would poison every downstream arrival —
+  // and because NaN compares false, the endpoint max below would silently
+  // report critical_delay = 0 instead of failing. Name the first bad gate
+  // (arrivals are sums/maxes of delays, so a bad arrival implies a bad
+  // delay).
+  for (const InstanceId i : order) {
+    if (std::isfinite(r.instance_delay[i])) continue;
+    const auto& inst = netlist.instance(i);
+    throw check::InputError(
+        check::codes::sta_nonfinite,
+        "Sta: gate '" + inst.name + "' (" +
+            std::string(circuit::cell_info(inst.kind).name) +
+            ") produced a non-finite delay (" +
+            std::to_string(r.instance_delay[i]) +
+            "); check the process parameters and operating point");
   }
 
   // Endpoints: primary outputs and flop D pins.

@@ -35,8 +35,9 @@ IdeaSubkeys idea_expand_key(const IdeaKey& key) {
       std::uint16_t w = 0;
       for (int j = 0; j < 16; ++j) {
         const std::size_t src = (16 * i + static_cast<std::size_t>(j) + 25) % 128;
-        const std::uint16_t bit =
-            static_cast<std::uint16_t>((k[src / 16] >> (15 - src % 16)) & 1u);
+        const std::size_t shift = 15 - src % 16;
+        const std::uint16_t bit = static_cast<std::uint16_t>(
+            (static_cast<unsigned>(k[src / 16]) >> shift) & 1u);
         w = static_cast<std::uint16_t>((w << 1) | bit);
       }
       r[i] = w;

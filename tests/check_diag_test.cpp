@@ -1,0 +1,112 @@
+#include "check/diag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/codes.hpp"
+#include "check/parse.hpp"
+#include "util/error.hpp"
+
+namespace chk = lv::check;
+namespace codes = lv::check::codes;
+
+TEST(Diag, ToStringWithFileAndLine) {
+  const chk::Diag d{chk::Severity::error, codes::net_cycle, "loop through g1",
+                    {"top.lvnet", 7}};
+  EXPECT_EQ(d.to_string(), "top.lvnet:7: error: [net.cycle] loop through g1");
+}
+
+TEST(Diag, ToStringOmitsMissingLocation) {
+  const chk::Diag d{chk::Severity::warning, codes::net_bus_gap, "bit gap", {}};
+  EXPECT_EQ(d.to_string(), "warning: [net.bus_gap] bit gap");
+}
+
+TEST(Diag, ToStringFileWithoutLine) {
+  const chk::Diag d{chk::Severity::error, codes::net_undriven, "no driver",
+                    {"a.lvnet", 0}};
+  EXPECT_EQ(d.to_string(), "a.lvnet: error: [net.undriven] no driver");
+}
+
+TEST(DiagSink, CountsBySeverity) {
+  chk::DiagSink sink;
+  EXPECT_TRUE(sink.ok());
+  EXPECT_TRUE(sink.empty());
+  sink.error(codes::tech_range, "out of range");
+  sink.warning(codes::net_bus_gap, "gap");
+  sink.note(codes::net_no_outputs, "fyi");
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.warning_count(), 1u);
+  EXPECT_EQ(sink.diags().size(), 3u);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(sink.has(codes::tech_range));
+  EXPECT_TRUE(sink.has(codes::net_bus_gap));
+  EXPECT_FALSE(sink.has(codes::net_cycle));
+}
+
+TEST(DiagSink, ContextFileStampsUnlocatedDiags) {
+  chk::DiagSink sink;
+  sink.set_context_file("input.lvtech");
+  sink.error(codes::tech_nonfinite, "vt0 is nan");            // no location
+  sink.error(codes::tech_number, "bad number", {"other", 3});  // has one
+  EXPECT_EQ(sink.diags()[0].loc.file, "input.lvtech");
+  EXPECT_EQ(sink.diags()[1].loc.file, "other");
+  EXPECT_EQ(sink.diags()[1].loc.line, 3);
+}
+
+TEST(DiagSink, JsonCarriesSchemaAndCounts) {
+  chk::DiagSink sink;
+  sink.error(codes::net_cycle, "loop", {"f.lvnet", 4});
+  sink.warning(codes::net_bus_gap, "gap");
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"schema\": \"lv-diag/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"net.cycle\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 4"), std::string::npos);
+}
+
+TEST(InputError, CarriesCodeAndLineAndLegacyWhat) {
+  const chk::InputError e{codes::tech_number, "techfile line 3: bad value",
+                          {"", 3}};
+  EXPECT_STREQ(e.what(), "techfile line 3: bad value");
+  EXPECT_EQ(e.code(), codes::tech_number);
+  EXPECT_EQ(e.line(), 3);
+  // Still catchable as the repo-wide error base.
+  EXPECT_THROW(throw chk::InputError(codes::io_open, "nope"), lv::util::Error);
+}
+
+TEST(ParseDouble, FullTokenOrNothing) {
+  EXPECT_DOUBLE_EQ(chk::parse_double("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(chk::parse_double("-2e-3").value(), -2e-3);
+  EXPECT_FALSE(chk::parse_double("oops").has_value());
+  EXPECT_FALSE(chk::parse_double("1.5x").has_value());  // trailing junk
+  EXPECT_FALSE(chk::parse_double("").has_value());
+}
+
+TEST(ParseInt, FullTokenOrNothing) {
+  EXPECT_EQ(chk::parse_int("42").value(), 42);
+  EXPECT_EQ(chk::parse_int("-7").value(), -7);
+  EXPECT_FALSE(chk::parse_int("4.2").has_value());
+  EXPECT_FALSE(chk::parse_int("12abc").has_value());
+}
+
+TEST(RequireDouble, ThrowsCodedErrorOnGarbage) {
+  EXPECT_DOUBLE_EQ(chk::require_double("0.9", "--vdd"), 0.9);
+  try {
+    chk::require_double("oops", "--vdd");
+    FAIL() << "expected InputError";
+  } catch (const chk::InputError& e) {
+    EXPECT_EQ(e.code(), codes::cli_number);
+    EXPECT_NE(std::string(e.what()).find("--vdd"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+  }
+}
+
+TEST(RequireInt, ThrowsCodedErrorOnGarbage) {
+  EXPECT_EQ(chk::require_int("8", "width"), 8);
+  try {
+    chk::require_int("8.5", "width");
+    FAIL() << "expected InputError";
+  } catch (const chk::InputError& e) {
+    EXPECT_EQ(e.code(), codes::cli_number);
+  }
+}

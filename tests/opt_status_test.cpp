@@ -1,0 +1,123 @@
+// Convergence-status contract: every optimizer reports whether its search
+// actually succeeded, with an iteration count and a residual, instead of
+// handing back a default-initialized best effort. The non-convergence
+// cases here are the ones the ISSUE names: an unbracketable VT optimum
+// (target frequency unreachable) and an infeasible constraint.
+#include "opt/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "opt/dual_vt.hpp"
+#include "opt/energy_delay.hpp"
+#include "opt/gate_sizing.hpp"
+#include "opt/voltage_opt.hpp"
+#include "tech/process.hpp"
+#include "timing/delay_model.hpp"
+
+namespace c = lv::circuit;
+namespace o = lv::opt;
+
+namespace {
+const lv::tech::Process& soi() {
+  static const auto t = lv::tech::soi_low_vt();
+  return t;
+}
+const lv::tech::Process& dual() {
+  static const auto t = lv::tech::dual_vt_mtcmos();
+  return t;
+}
+const lv::timing::RingOscillator kRing{101};
+}  // namespace
+
+TEST(VtSweepStatus, ConvergesAtReachableFrequency) {
+  const auto r = o::optimize_vt(soi(), kRing, 5e6, 1.0, 0.05, 0.55);
+  EXPECT_TRUE(r.status.converged);
+  EXPECT_TRUE(r.status.reason.empty());
+  EXPECT_GT(r.status.iterations, 0);
+  EXPECT_TRUE(r.optimum.feasible);
+  // residual = final golden-section bracket width, well under the grid
+  // spacing after refinement.
+  EXPECT_LT(r.status.residual, (0.55 - 0.05) / 40.0);
+}
+
+TEST(VtSweepStatus, UnreachableFrequencyReportsFailure) {
+  // No (vt, vdd) point oscillates at a petahertz: the optimum cannot be
+  // bracketed anywhere in the sweep range.
+  const auto r = o::optimize_vt(soi(), kRing, 1e15, 1.0, 0.05, 0.55);
+  EXPECT_FALSE(r.status.converged);
+  EXPECT_FALSE(r.optimum.feasible);
+  EXPECT_FALSE(r.status.reason.empty());
+  EXPECT_NE(r.status.reason.find("frequency"), std::string::npos);
+}
+
+TEST(EnergyDelayStatus, ConvergesOnFeasibleSweep) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  const auto r = o::explore_energy_delay(nl, soi(), 0.3, 0.3, 1.6, 10);
+  EXPECT_TRUE(r.status.converged);
+  EXPECT_EQ(r.status.iterations, 10);
+  EXPECT_GT(r.status.residual, 0.0);  // fastest critical delay seen
+}
+
+TEST(EnergyDelayStatus, UnmeetableDelayCapReportsFailure) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  const auto r = o::explore_energy_delay(nl, soi(), 0.3, 0.3, 1.6, 10, 1e-15);
+  EXPECT_FALSE(r.status.converged);
+  EXPECT_FALSE(r.min_energy_capped.feasible);
+  EXPECT_NE(r.status.reason.find("delay cap"), std::string::npos);
+}
+
+TEST(EnergyDelayStatus, AllInfeasibleSweepReportsFailure) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  // Supplies far below threshold: the device never conducts.
+  const auto r = o::explore_energy_delay(nl, soi(), 0.3, 0.01, 0.02, 4);
+  EXPECT_FALSE(r.status.converged);
+  EXPECT_FALSE(r.status.reason.empty());
+}
+
+TEST(DualVtStatus, GreedyAssignmentConverges) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  const auto r = o::assign_dual_vt(nl, dual(), 1.0, 0.1);
+  EXPECT_TRUE(r.status.converged);
+  EXPECT_GT(r.status.iterations, 0);             // STA evaluations consumed
+  EXPECT_GE(r.status.residual, 0.0);             // final slack
+  EXPECT_LE(r.delay_after, r.clock_period * (1 + 1e-12));
+}
+
+TEST(MtcmosStatus, FeasibleBoundConverges) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  const double width = o::netlist_nmos_width(nl);
+  const double peak = o::netlist_peak_current(nl, dual(), 1.0);
+  const auto r = o::size_sleep_transistor(dual(), 1.0, width, peak, 1.05);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.status.converged);
+  EXPECT_GT(r.status.iterations, 1);  // bisection actually ran
+}
+
+TEST(MtcmosStatus, UnreachablePenaltyBoundReportsFailure) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  const double width = o::netlist_nmos_width(nl);
+  const double peak = o::netlist_peak_current(nl, dual(), 1.0);
+  // Essentially zero allowed slowdown: even the widest footer in range
+  // cannot meet it, so the bisection has no bracket.
+  const auto r = o::size_sleep_transistor(dual(), 1.0, width, peak, 1.0000001);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.status.converged);
+  EXPECT_FALSE(r.status.reason.empty());
+}
+
+TEST(SizingStatus, GreedyDownsizeConverges) {
+  c::Netlist nl;
+  c::build_ripple_carry_adder(nl, 4);
+  const auto r = o::downsize_gates(nl, soi(), 1.0, 0.1);
+  EXPECT_TRUE(r.status.converged);
+  EXPECT_GT(r.status.iterations, 0);
+  EXPECT_GE(r.status.residual, 0.0);
+  EXPECT_LE(r.delay_after, r.clock_period * (1 + 1e-12));
+}

@@ -39,6 +39,28 @@ TEST(FaultInjection, FaultPersistsAcrossStimulus) {
   }
 }
 
+TEST(FaultInjection, ReassertedAcrossInterleavedSetAndSettle) {
+  // The faulty net's driver computes the opposite value on every other
+  // vector; the wrapper must re-force the stuck value after *each*
+  // set_input/settle round, including back-to-back settles with no input
+  // change in between.
+  c::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto w = nl.add_gate(c::CellKind::inv, "g1", {a});
+  const auto y = nl.add_gate(c::CellKind::inv, "g2", {w});
+  nl.mark_output(y);
+  s::FaultySimulator sim{nl, {w, Logic::zero}};
+  for (int round = 0; round < 4; ++round) {
+    const Logic in = (round % 2 == 0) ? Logic::zero : Logic::one;
+    sim.set_input(a, in);  // fault-free w would be !in
+    sim.settle();
+    EXPECT_EQ(sim.value(w), Logic::zero) << "round " << round;
+    EXPECT_EQ(sim.value(y), Logic::one) << "round " << round;
+    sim.settle();  // an idle settle must not let the driver win either
+    EXPECT_EQ(sim.value(w), Logic::zero) << "round " << round;
+  }
+}
+
 TEST(FaultInjection, RejectsXStuckValue) {
   c::Netlist nl;
   c::build_ripple_carry_adder(nl, 2);
@@ -84,6 +106,27 @@ TEST(FaultCoverage, SingleVectorDetectsLittleOnWideLogic) {
   const auto result = s::fault_coverage(nl, {0x00});  // all-zero inputs
   EXPECT_LT(result.coverage, 0.6);
   EXPECT_FALSE(result.undetected.empty());
+}
+
+TEST(FaultCoverage, RedundantFaultReportedAsUncovered) {
+  // out = a OR (a AND b): the AND output stuck at 0 is logically
+  // redundant — out equals a either way — so no vector can detect it.
+  // The report must list it as uncovered rather than inflate coverage.
+  c::Netlist nl;
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto ab = nl.add_gate(c::CellKind::and2, "g_and", {a, b});
+  const auto out = nl.add_gate(c::CellKind::or2, "g_or", {a, ab});
+  nl.mark_output(out);
+  const auto result = s::fault_coverage(nl, {0, 1, 2, 3});  // exhaustive
+  EXPECT_LT(result.coverage, 1.0);
+  bool redundant_listed = false;
+  for (const auto& f : result.undetected)
+    redundant_listed |= (f.net == ab && f.stuck_at == Logic::zero);
+  EXPECT_TRUE(redundant_listed)
+      << "redundant and-output stuck-at-0 missing from undetected list";
+  EXPECT_EQ(result.total_faults,
+            result.detected + result.undetected.size());
 }
 
 TEST(FaultCoverage, RejectsSequentialNetlists) {

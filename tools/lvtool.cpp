@@ -23,6 +23,10 @@
 #include <string>
 #include <vector>
 
+#include "check/codes.hpp"
+#include "check/diag.hpp"
+#include "check/ingest.hpp"
+#include "check/parse.hpp"
 #include "circuit/generators.hpp"
 #include "circuit/netlist_io.hpp"
 #include "circuit/transforms.hpp"
@@ -50,6 +54,7 @@
 namespace {
 
 namespace c = lv::circuit;
+namespace chk = lv::check;
 namespace u = lv::util;
 
 // ---- option plumbing --------------------------------------------------
@@ -58,9 +63,26 @@ struct Args {
   std::vector<std::string> positional;
   std::map<std::string, std::string> options;  // "--key value"
 
+  // Checked: `--vdd oops` is a coded input error (exit 2), not atof's
+  // silent 0.0.
   double number(const std::string& key, double fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::atof(it->second.c_str());
+    return it == options.end() ? fallback
+                               : chk::require_double(it->second, key);
+  }
+  // Like number(), but for physical quantities (supplies, frequencies)
+  // that must be strictly positive: a non-positive value is the user's
+  // input error (exit 2), not a library precondition failure (exit 1).
+  double positive(const std::string& key, double fallback) const {
+    const double v = number(key, fallback);
+    if (!(v > 0.0))
+      throw chk::InputError(chk::codes::cli_number,
+                            key + " must be > 0, got " + std::to_string(v));
+    return v;
+  }
+  long long integer(const std::string& key, long long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : chk::require_int(it->second, key);
   }
   std::optional<std::string> text(const std::string& key) const {
     const auto it = options.find(key);
@@ -73,11 +95,13 @@ Args parse_args(int argc, char** argv, int first) {
   Args args;
   for (int i = first; i < argc; ++i) {
     const std::string token = argv[i];
-    if (token == "--stats") {
-      // Boolean flag: run metrics to stdout, no value token.
+    if (token == "--stats" || token == "--strict") {
+      // Boolean flags: no value token.
       args.options[token] = "1";
     } else if (token.rfind("--", 0) == 0 || token == "-o") {
-      u::require(i + 1 < argc, "option '" + token + "' needs a value");
+      if (i + 1 >= argc)
+        throw chk::InputError(chk::codes::cli_option,
+                              "option '" + token + "' needs a value");
       args.options[token == "-o" ? "--out" : token] = argv[++i];
     } else {
       args.positional.push_back(token);
@@ -87,17 +111,14 @@ Args parse_args(int argc, char** argv, int first) {
 }
 
 std::string read_file(const std::string& path) {
-  std::ifstream in{path, std::ios::binary};
-  u::require(static_cast<bool>(in), "cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
+  return chk::read_file(path);  // throws InputError(io.open) -> exit 2
 }
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out{path, std::ios::binary};
-  u::require(static_cast<bool>(out), "cannot write '" + path + "'");
-  out << content;
+  if (!out || !(out << content))
+    throw chk::InputError(chk::codes::io_write,
+                          "cannot write '" + path + "'", {path, 0});
 }
 
 lv::tech::Process load_tech(const std::string& name) {
@@ -106,11 +127,11 @@ lv::tech::Process load_tech(const std::string& name) {
   if (name == "soias") return lv::tech::soias();
   if (name == "dual_vt_mtcmos") return lv::tech::dual_vt_mtcmos();
   if (name == "bulk_body_bias") return lv::tech::bulk_body_bias();
-  return lv::tech::parse_techfile(read_file(name));
+  return chk::require_techfile(read_file(name), name);
 }
 
 c::Netlist load_netlist(const std::string& path) {
-  return c::parse_netlist_text(read_file(path));
+  return chk::require_netlist(read_file(path), path);
 }
 
 // Random stimulus over all primary inputs; returns the simulator with
@@ -146,7 +167,8 @@ lv::sim::Simulator simulate_random(const c::Netlist& nl, std::size_t vectors,
 int cmd_gen(const Args& args) {
   u::require(args.positional.size() == 2, "gen needs <kind> <width>");
   const std::string kind = args.positional[0];
-  const int width = std::atoi(args.positional[1].c_str());
+  const int width =
+      static_cast<int>(chk::require_int(args.positional[1], "<width>"));
   c::Netlist nl;
   if (kind == "rca") c::build_ripple_carry_adder(nl, width);
   else if (kind == "cla") c::build_carry_lookahead_adder(nl, width);
@@ -157,7 +179,9 @@ int cmd_gen(const Args& args) {
   else if (kind == "alu") c::build_alu(nl, width);
   else if (kind == "cskip") c::build_carry_skip_adder(nl, width);
   else if (kind == "wmul") c::build_wallace_multiplier(nl, width);
-  else throw u::Error("unknown generator '" + kind + "'");
+  else
+    throw chk::InputError(chk::codes::cli_option,
+                          "unknown generator '" + kind + "'");
   const std::string text = c::to_netlist_text(nl);
   if (const auto out = args.text("--out")) {
     write_file(*out, text);
@@ -242,13 +266,13 @@ int cmd_power(const Args& args) {
   const auto nl = load_netlist(args.positional[0]);
   const auto tech = load_tech(args.positional[1]);
   lv::power::OperatingPoint op;
-  op.vdd = args.number("--vdd", tech.vdd_nominal);
-  op.f_clk = args.number("--fclk", 50e6);
+  op.vdd = args.positive("--vdd", tech.vdd_nominal);
+  op.f_clk = args.positive("--fclk", 50e6);
   const lv::power::PowerEstimator est{nl, tech, op};
 
   lv::power::PowerBreakdown br;
   if (const auto file = args.text("--activity")) {
-    const auto stats = lv::sim::parse_activity_text(nl, read_file(*file));
+    const auto stats = chk::require_activity(nl, read_file(*file), *file);
     br = est.estimate(stats);
   } else {
     br = est.estimate_uniform(args.number("--alpha", 0.25));
@@ -270,7 +294,7 @@ int cmd_timing(const Args& args) {
   u::require(args.positional.size() == 2, "timing needs <netlist> <tech>");
   const auto nl = load_netlist(args.positional[0]);
   const auto tech = load_tech(args.positional[1]);
-  const double vdd = args.number("--vdd", tech.vdd_nominal);
+  const double vdd = args.positive("--vdd", tech.vdd_nominal);
   const lv::timing::Sta sta{nl, tech, vdd};
   const auto r = sta.run(1.0);
   std::printf("critical delay: %.4g s (max clock %.4g Hz) at VDD = %.2f V\n",
@@ -286,7 +310,7 @@ int cmd_dualvt(const Args& args) {
   u::require(args.positional.size() == 2, "dualvt needs <netlist> <tech>");
   const auto nl = load_netlist(args.positional[0]);
   const auto tech = load_tech(args.positional[1]);
-  const double vdd = args.number("--vdd", tech.vdd_nominal);
+  const double vdd = args.positive("--vdd", tech.vdd_nominal);
   const double margin = args.number("--margin", 0.05);
   const auto r = lv::opt::assign_dual_vt(nl, tech, vdd, margin);
   std::printf("%zu of %zu gates moved to high VT\n", r.high_vt_count,
@@ -302,13 +326,14 @@ int cmd_dualvt(const Args& args) {
 int cmd_optimize_vt(const Args& args) {
   u::require(args.positional.size() == 1, "optimize-vt needs <tech>");
   const auto tech = load_tech(args.positional[0]);
-  const double f_clk = args.number("--fclk", 5e6);
+  const double f_clk = args.positive("--fclk", 5e6);
   const double activity = args.number("--activity", 1.0);
   const lv::timing::RingOscillator ring{101};
   const auto r =
       lv::opt::optimize_vt(tech, ring, f_clk, activity, 0.05, 0.55, 26);
-  if (!r.optimum.feasible) {
-    std::printf("no feasible (VT, VDD) for %.3g Hz in range\n", f_clk);
+  if (!r.status.converged) {
+    std::printf("did not converge after %d evaluations: %s\n",
+                r.status.iterations, r.status.reason.c_str());
     return 1;
   }
   std::printf("optimum at %.3g Hz, activity %.2f: VT = %.3f V, "
@@ -334,7 +359,9 @@ int cmd_profile(const Args& args) {
   else if (name == "sort") workload = lv::workloads::sort_workload();
   else if (name == "matmul") workload = lv::workloads::matmul_workload();
   else if (name == "strsearch") workload = lv::workloads::strsearch_workload();
-  else throw u::Error("unknown workload '" + name + "'");
+  else
+    throw chk::InputError(chk::codes::cli_option,
+                          "unknown workload '" + name + "'");
 
   lv::profile::ActivityProfiler profiler{lv::profile::UnitMap::standard(),
                                          gap};
@@ -363,7 +390,7 @@ int cmd_glitch(const Args& args) {
   const auto sim = simulate_random(
       nl, vectors, static_cast<std::uint64_t>(args.number("--seed", 1)));
   lv::power::OperatingPoint op;
-  op.vdd = args.number("--vdd", tech.vdd_nominal);
+  op.vdd = args.positive("--vdd", tech.vdd_nominal);
   const auto report =
       lv::power::analyze_glitch_power(nl, tech, op, sim.stats());
   std::printf("functional power: %.4g W\n", report.functional_power);
@@ -406,7 +433,7 @@ int cmd_paths(const Args& args) {
   u::require(args.positional.size() == 2, "paths needs <netlist> <tech>");
   const auto nl = load_netlist(args.positional[0]);
   const auto tech = load_tech(args.positional[1]);
-  const double vdd = args.number("--vdd", tech.vdd_nominal);
+  const double vdd = args.positive("--vdd", tech.vdd_nominal);
   const int k = static_cast<int>(args.number("--k", 5));
   const auto sta = lv::timing::Sta{nl, tech, vdd}.run(1.0);
   const auto paths = lv::timing::enumerate_critical_paths(nl, sta, k);
@@ -427,7 +454,7 @@ int cmd_sizing(const Args& args) {
   const auto nl = load_netlist(args.positional[0]);
   const auto tech = load_tech(args.positional[1]);
   const auto r = lv::opt::downsize_gates(
-      nl, tech, args.number("--vdd", tech.vdd_nominal),
+      nl, tech, args.positive("--vdd", tech.vdd_nominal),
       args.number("--margin", 0.05), args.number("--min-size", 0.5));
   std::printf("%zu of %zu gates downsized\n", r.downsized,
               nl.instance_count());
@@ -454,7 +481,71 @@ int cmd_optimize(const Args& args) {
   return 0;
 }
 
+// lvtool check <file> [--kind netlist|tech|activity] [--netlist <file>]
+//              [--strict] [--diag-json <file>]
+//
+// Parses and deep-validates one input file, reporting *every* finding
+// (parsers stop at the first error; the validators do not). Exit 0 when
+// acceptable, 2 when not; --strict also fails on warnings. --diag-json
+// writes the lv-diag/1 report (schema in docs/FORMATS.md).
+int cmd_check(const Args& args) {
+  u::require(args.positional.size() == 1, "check needs <file>");
+  const std::string& path = args.positional[0];
+  const std::string text = read_file(path);
+
+  // Kind: explicit --kind wins; otherwise the version header (the first
+  // word of the first non-comment line) decides.
+  std::string kind = args.text("--kind").value_or("");
+  if (kind.empty()) {
+    std::istringstream lines{text};
+    std::string first_word;
+    for (std::string line; std::getline(lines, line);) {
+      const auto h = line.find('#');
+      if (h != std::string::npos) line.resize(h);
+      std::istringstream words{line};
+      if (words >> first_word) break;
+    }
+    if (first_word == "lvnet") kind = "netlist";
+    else if (first_word == "lvtech") kind = "tech";
+    else if (first_word == "lvact") kind = "activity";
+    else
+      throw chk::InputError(
+          chk::codes::cli_option,
+          "cannot tell what '" + path +
+              "' is (no lvnet/lvtech/lvact header); pass --kind");
+  }
+
+  chk::DiagSink sink;
+  if (kind == "netlist") {
+    chk::load_netlist_text(text, sink, path);
+  } else if (kind == "tech") {
+    chk::load_techfile_text(text, sink, path);
+  } else if (kind == "activity") {
+    const auto nl_path = args.text("--netlist");
+    if (!nl_path)
+      throw chk::InputError(chk::codes::cli_option,
+                            "check --kind activity needs --netlist <file>");
+    const auto nl = load_netlist(*nl_path);
+    chk::load_activity_text(nl, text, sink, path);
+  } else {
+    throw chk::InputError(chk::codes::cli_option,
+                          "unknown --kind '" + kind +
+                              "' (netlist|tech|activity)");
+  }
+
+  if (const auto out = args.text("--diag-json"))
+    write_file(*out, sink.to_json());
+  std::fputs(sink.to_text().c_str(), stdout);
+  const bool strict = args.options.count("--strict") != 0;
+  const bool fail = !sink.ok() || (strict && sink.warning_count() > 0);
+  std::printf("%s: %zu error(s), %zu warning(s)%s\n", path.c_str(),
+              sink.error_count(), sink.warning_count(),
+              fail ? "" : " — OK");
+  return fail ? 2 : 0;
+}
+
 int run_command(const std::string& cmd, const Args& args) {
+  if (cmd == "check") return cmd_check(args);
   if (cmd == "gen") return cmd_gen(args);
   if (cmd == "stats") return cmd_stats(args);
   if (cmd == "simulate") return cmd_simulate(args);
@@ -475,6 +566,8 @@ int run_command(const std::string& cmd, const Args& args) {
 void usage() {
   std::fputs(
       "lvtool — low-voltage design toolkit CLI\n"
+      "  check <file> [--kind netlist|tech|activity] [--netlist f]\n"
+      "        [--strict] [--diag-json f]\n"
       "  gen <rca|cla|csel|ks|mul|shifter|alu> <width> [-o file]\n"
       "  stats <netlist>\n"
       "  simulate <netlist> [--vectors N] [--seed S]\n"
@@ -518,8 +611,10 @@ int main(int argc, char** argv) {
     // --threads N > LVSIM_THREADS env > hardware concurrency; 1 runs the
     // serial code path (results are identical either way).
     if (const auto threads = args.text("--threads")) {
-      const long long n = std::atoll(threads->c_str());
-      lv::util::require(n >= 0, "--threads must be >= 0 (0 = default)");
+      const long long n = chk::require_int(*threads, "--threads");
+      if (n < 0)
+        throw chk::InputError(chk::codes::cli_option,
+                              "--threads must be >= 0 (0 = default)");
       lv::exec::set_thread_count(static_cast<std::size_t>(n));
     }
     // Run metrics: collection is compiled in but a no-op until a stats
@@ -535,9 +630,11 @@ int main(int argc, char** argv) {
       rc = run_command(cmd, args);
     }
     if (rc < 0) {
-      std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+      // An unknown subcommand is bad input, same contract as a bad option.
+      std::fprintf(stderr, "lvtool: error: [%s] unknown command '%s'\n",
+                   chk::codes::cli_option, cmd.c_str());
       usage();
-      return 1;
+      return 2;
     }
     if (stats_text || stats_json) {
       const lv::obs::RunReport report = lv::obs::Registry::global().report();
@@ -545,8 +642,15 @@ int main(int argc, char** argv) {
       if (stats_text) std::fputs(report.to_text().c_str(), stdout);
     }
     return rc;
+  } catch (const lv::check::InputError& e) {
+    // Bad input (malformed file, unparseable option, missing path):
+    // coded diagnostic, exit 2 — distinct from internal errors below.
+    std::fprintf(stderr, "lvtool %s: %s\n", cmd.c_str(),
+                 e.diag().to_string().c_str());
+    return 2;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "lvtool %s: %s\n", cmd.c_str(), e.what());
+    std::fprintf(stderr, "lvtool %s: internal error: %s\n", cmd.c_str(),
+                 e.what());
     return 1;
   }
 }
