@@ -124,6 +124,23 @@ const std::vector<double>& AnalysisContext::cell_leakage(
   return leak_memo_.emplace(key, std::move(table)).first->second;
 }
 
+double AnalysisContext::short_circuit_fraction() const {
+  const auto key = std::tuple{op_.vdd, op_.vt_shift, op_.temp_k};
+  const auto it = sc_frac_memo_.find(key);
+  if (it != sc_frac_memo_.end()) return it->second;
+
+  const auto n = process_.make_nmos(1.0, op_.vt_shift);
+  const auto p = process_.make_pmos(1.0, op_.vt_shift);
+  const double vtn = n.threshold(0.0, 0.0, op_.temp_k);
+  const double vtp = p.threshold(0.0, 0.0, op_.temp_k);
+  const double headroom = op_.vdd - vtn - vtp;
+  // Scales with the overlap window; 0.10 at rail-dominated operation, the
+  // "kept to less than 10-20% by equalizing edges" regime of Section 2.
+  const double frac =
+      headroom <= 0.0 ? 0.0 : 0.10 * std::min(1.0, headroom / op_.vdd);
+  return sc_frac_memo_.emplace(key, frac).first->second;
+}
+
 const AnalysisContext::DriveParams& AnalysisContext::drive_params(
     double vt_shift) const {
   const auto key = std::pair{op_.vdd, vt_shift};

@@ -90,6 +90,16 @@ class AnalysisContext {
   // plus `extra_vt_shift` (standby body bias / back gate).
   const std::vector<double>& cell_leakage(double extra_vt_shift = 0.0) const;
 
+  // ---- short-circuit power ------------------------------------------
+  // Veendrick-style short-circuit fraction of switching power at the
+  // current operating point: zero when V_DD < V_Tn + |V_Tp| (no overlap
+  // conduction), scaling toward the classic ~10% at rail-dominated
+  // operation. Building the two unit MOSFET models this needs is not
+  // free, and estimators call it per estimate() inside sweep loops, so
+  // the value is memoized on (vdd, vt_shift, temp_k) — retargeting the
+  // operating point keys a fresh entry, identical points hit the cache.
+  double short_circuit_fraction() const;
+
   // ---- alpha-power delay primitives ---------------------------------
   // These mirror timing::DelayModel at (op.vdd, vt_shift) bit-for-bit so
   // context-backed STA equals freshly-constructed STA exactly.
@@ -132,6 +142,8 @@ class AnalysisContext {
       leak_memo_;  // (vdd, op vt_shift, extra vt_shift, temp_k)
   mutable std::map<std::pair<double, double>, DriveParams>
       drive_memo_;  // (vdd, vt_shift)
+  mutable std::map<std::tuple<double, double, double>, double>
+      sc_frac_memo_;  // (vdd, vt_shift, temp_k)
 };
 
 }  // namespace lv::analysis

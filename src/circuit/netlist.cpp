@@ -78,10 +78,27 @@ NetId Netlist::find_net(const std::string& name) const {
 }
 
 void Netlist::build_caches() const {
-  fanout_cache_.assign(nets_.size(), {});
+  // CSR fanout: one counting pass, prefix sum, one fill pass. Filling in
+  // ascending instance order preserves the historical per-net consumer
+  // order (instance ids ascending), which the event kernel's evaluation
+  // order — and therefore its bit-exact statistics — depends on.
+  fanout_offsets_.assign(nets_.size() + 1, 0);
+  for (const Instance& inst : instances_)
+    for (const NetId in : inst.inputs) ++fanout_offsets_[in + 1];
+  for (std::size_t n = 1; n <= nets_.size(); ++n)
+    fanout_offsets_[n] += fanout_offsets_[n - 1];
+  fanout_list_.resize(fanout_offsets_[nets_.size()]);
+  std::vector<std::uint32_t> cursor(fanout_offsets_.begin(),
+                                    fanout_offsets_.end() - 1);
   for (InstanceId i = 0; i < instances_.size(); ++i)
     for (const NetId in : instances_[i].inputs)
-      fanout_cache_[in].push_back(i);
+      fanout_list_[cursor[in]++] = i;
+
+  auto consumers = [this](NetId n) {
+    return std::span<const InstanceId>{
+        fanout_list_.data() + fanout_offsets_[n],
+        fanout_offsets_[n + 1] - fanout_offsets_[n]};
+  };
 
   // Kahn topological sort over combinational instances only. Sequential
   // outputs behave as sources; sequential inputs as sinks.
@@ -105,7 +122,7 @@ void Netlist::build_caches() const {
     const InstanceId i = ready.front();
     ready.pop();
     topo_cache_.push_back(i);
-    for (const InstanceId consumer : fanout_cache_[instances_[i].output]) {
+    for (const InstanceId consumer : consumers(instances_[i].output)) {
       if (cell_info(instances_[consumer].kind).sequential) continue;
       if (--pending[consumer] == 0) ready.push(consumer);
     }
@@ -119,9 +136,21 @@ void Netlist::build_caches() const {
   caches_valid_ = true;
 }
 
-const std::vector<InstanceId>& Netlist::fanout(NetId net) const {
+std::span<const InstanceId> Netlist::fanout(NetId net) const {
   if (!caches_valid_) build_caches();
-  return fanout_cache_.at(net);
+  if (net >= nets_.size()) throw u::Error("Netlist: fanout net out of range");
+  return {fanout_list_.data() + fanout_offsets_[net],
+          fanout_offsets_[net + 1] - fanout_offsets_[net]};
+}
+
+const std::vector<std::uint32_t>& Netlist::fanout_offsets() const {
+  if (!caches_valid_) build_caches();
+  return fanout_offsets_;
+}
+
+const std::vector<InstanceId>& Netlist::fanout_list() const {
+  if (!caches_valid_) build_caches();
+  return fanout_list_;
 }
 
 const std::vector<InstanceId>& Netlist::topo_order() const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -66,10 +67,18 @@ class Netlist {
   const std::vector<NetId>& primary_outputs() const { return outputs_; }
   NetId clock_net() const { return clock_; }  // kInvalidNet when none
 
-  // Instances whose inputs include `net` (consumers).
-  const std::vector<InstanceId>& fanout(NetId net) const;
+  // Instances whose inputs include `net` (consumers), in ascending
+  // instance order. A view into the CSR fanout arrays below.
+  std::span<const InstanceId> fanout(NetId net) const;
   // Number of gate input pins attached to `net`.
   std::size_t fanout_pins(NetId net) const { return fanout(net).size(); }
+
+  // CSR (compressed sparse row) form of the consumer graph: the
+  // consumers of net n are fanout_list()[fanout_offsets()[n] ..
+  // fanout_offsets()[n+1]). Flat contiguous storage so compiled engines
+  // (sim::SimGraph) can walk fanout without pointer chasing.
+  const std::vector<std::uint32_t>& fanout_offsets() const;
+  const std::vector<InstanceId>& fanout_list() const;
 
   // Topological order of *combinational* instances (sequential cells are
   // treated as sources/sinks). Throws lv::util::Error on a combinational
@@ -99,7 +108,8 @@ class Netlist {
   std::vector<NetId> outputs_;
   NetId clock_ = kInvalidNet;
   std::unordered_map<std::string, NetId> net_by_name_;
-  mutable std::vector<std::vector<InstanceId>> fanout_cache_;
+  mutable std::vector<std::uint32_t> fanout_offsets_;
+  mutable std::vector<InstanceId> fanout_list_;
   mutable std::vector<InstanceId> topo_cache_;
   mutable bool caches_valid_ = false;
 

@@ -77,17 +77,10 @@ PowerEstimator::PowerEstimator(const analysis::AnalysisContext& ctx)
     : ctx_{&ctx} {}
 
 double PowerEstimator::short_circuit_fraction() const {
-  const auto& op = ctx_->operating_point();
-  const auto& process = ctx_->process();
-  const auto n = process.make_nmos(1.0, op.vt_shift);
-  const auto p = process.make_pmos(1.0, op.vt_shift);
-  const double vtn = n.threshold(0.0, 0.0, op.temp_k);
-  const double vtp = p.threshold(0.0, 0.0, op.temp_k);
-  const double headroom = op.vdd - vtn - vtp;
-  if (headroom <= 0.0) return 0.0;  // no N/P overlap conduction
-  // Scales with the overlap window; 0.10 at rail-dominated operation, the
-  // "kept to less than 10-20% by equalizing edges" regime of Section 2.
-  return 0.10 * std::min(1.0, headroom / op.vdd);
+  // Memoized in the context on (vdd, vt_shift, temp_k): estimate() and
+  // by_module() run inside sweep loops, and rebuilding the two unit
+  // MOSFET models per call dominated small-netlist estimates.
+  return ctx_->short_circuit_fraction();
 }
 
 double PowerEstimator::leakage_current(double extra_vt_shift) const {

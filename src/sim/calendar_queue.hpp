@@ -1,0 +1,122 @@
+// Calendar-queue (timing-wheel) event scheduler.
+//
+// The event kernel's delays are small bounded integers (zero / unit /
+// load-proportional ticks), so a binary-heap priority queue is overkill:
+// a wheel of 2^k slots, each holding a FIFO bucket, gives O(1) push and
+// amortized O(1) pop. Slot index is `time & mask`; because every pending
+// time t satisfies now <= t <= now + horizon and the wheel is sized past
+// the horizon (capacity >= max_delay + 2), distinct pending times can
+// never collide in a slot, so no overflow list is needed.
+//
+// Ordering contract (what keeps ActivityStats bit-identical to the
+// heap-based kernel): entries pop in strictly non-decreasing time, and
+// same-time entries pop in push (FIFO) order — exactly the (time, seq)
+// order the heap's global sequence-number tie-break produced, without
+// storing either field. Pushing to the slot currently being drained
+// (zero-delay evaluation chains) is explicitly supported: the slot is a
+// linked list consumed from the head, so an appended entry is seen in
+// the same pass.
+//
+// Buckets are intrusive singly-linked lists drawing nodes from one
+// shared freelist-backed pool, so steady-state memory is the *pending
+// high-water mark* (one pool), not a per-slot capacity — and a
+// warmed-up queue performs no heap allocation at all (pinned by
+// tests/sim_alloc_test.cpp). `reserve_hint` pre-sizes the pool;
+// exceeding it falls back to amortized vector growth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/logic.hpp"
+#include "circuit/netlist.hpp"
+
+namespace lv::sim {
+
+class CalendarQueue {
+ public:
+  struct Entry {
+    circuit::NetId net;
+    circuit::Logic value;
+  };
+
+  // `max_delay` bounds push times relative to the current time: pushes
+  // must satisfy time() <= t <= time() + max_delay + 1 (the +1 admits
+  // the clock edge, scheduled one tick after quiescence).
+  explicit CalendarQueue(std::uint64_t max_delay,
+                         std::size_t reserve_hint = 0) {
+    std::uint64_t capacity = 2;
+    while (capacity < max_delay + 2) capacity <<= 1;
+    head_.assign(capacity, kNil);
+    tail_.assign(capacity, kNil);
+    mask_ = capacity - 1;
+    pool_.reserve(reserve_hint);
+  }
+
+  bool empty() const { return pending_ == 0; }
+  std::size_t size() const { return pending_; }
+
+  // Time of the most recently popped entry (the simulator's "now").
+  std::uint64_t time() const { return time_; }
+
+  // Number of times the pop cursor wrapped past slot 0 (observability).
+  std::uint64_t wraps() const { return wraps_; }
+
+  std::size_t capacity() const { return head_.size(); }
+
+  void push(std::uint64_t t, Entry e) {
+    std::uint32_t idx;
+    if (free_ != kNil) {
+      idx = free_;
+      free_ = pool_[idx].next;
+    } else {
+      idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    pool_[idx].entry = e;
+    pool_[idx].next = kNil;
+    const std::size_t s = t & mask_;
+    if (head_[s] == kNil)
+      head_[s] = idx;
+    else
+      pool_[tail_[s]].next = idx;
+    tail_[s] = idx;
+    ++pending_;
+  }
+
+  // Pops the earliest entry (FIFO among same-time entries) and advances
+  // time() to its timestamp. Precondition: !empty().
+  Entry pop() {
+    while (head_[time_ & mask_] == kNil) {
+      ++time_;
+      if ((time_ & mask_) == 0) ++wraps_;
+    }
+    const std::size_t s = time_ & mask_;
+    const std::uint32_t idx = head_[s];
+    Node& node = pool_[idx];
+    head_[s] = node.next;
+    if (head_[s] == kNil) tail_[s] = kNil;
+    const Entry e = node.entry;
+    node.next = free_;
+    free_ = idx;
+    --pending_;
+    return e;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  struct Node {
+    Entry entry{};
+    std::uint32_t next = kNil;
+  };
+  std::vector<Node> pool_;      // shared node storage + freelist
+  std::vector<std::uint32_t> head_;  // per-slot list head (kNil = empty)
+  std::vector<std::uint32_t> tail_;  // per-slot list tail
+  std::uint32_t free_ = kNil;   // freelist head into pool_
+  std::uint64_t mask_ = 0;
+  std::uint64_t time_ = 0;
+  std::uint64_t pending_ = 0;
+  std::uint64_t wraps_ = 0;
+};
+
+}  // namespace lv::sim

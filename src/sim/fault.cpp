@@ -10,8 +10,12 @@ using circuit::NetId;
 
 FaultySimulator::FaultySimulator(const circuit::Netlist& netlist, Fault fault,
                                  SimConfig config)
-    : sim_{netlist, config}, fault_{fault} {
-  lv::util::require(fault.net < netlist.net_count(),
+    : FaultySimulator{SimGraph::compile(netlist), fault, config} {}
+
+FaultySimulator::FaultySimulator(std::shared_ptr<const SimGraph> graph,
+                                 Fault fault, SimConfig config)
+    : sim_{std::move(graph), config}, fault_{fault} {
+  lv::util::require(fault.net < sim_.netlist().net_count(),
                     "FaultySimulator: fault net out of range");
   lv::util::require(circuit::is_known(fault.stuck_at),
                     "FaultySimulator: stuck value must be 0 or 1");
@@ -75,11 +79,14 @@ CoverageResult fault_coverage(const circuit::Netlist& netlist,
   lv::util::require(inputs.size() <= 64,
                     "fault_coverage: more than 64 inputs");
 
+  // One compiled graph serves the golden pass and every fault machine.
+  const auto graph = SimGraph::compile(netlist);
+
   // Good-machine responses once.
   std::vector<std::uint64_t> golden;
   golden.reserve(vectors.size());
   {
-    Simulator good{netlist};
+    Simulator good{graph};
     for (const auto v : vectors) {
       good.set_bus(inputs, v);
       good.settle();
@@ -94,13 +101,14 @@ CoverageResult fault_coverage(const circuit::Netlist& netlist,
   const auto faults = enumerate_faults(netlist);
   result.total_faults = faults.size();
   // The campaign is embarrassingly parallel: each fault machine is a
-  // fresh FaultySimulator over the shared (const, cache-warm from the
-  // golden pass) netlist. Verdicts land in per-fault slots and the
-  // detected/undetected tallies fold serially in fault order, so the
-  // result is identical at any thread count.
+  // fresh FaultySimulator over the shared immutable SimGraph (compiled
+  // once above — no per-fault re-validation or re-lowering). Verdicts
+  // land in per-fault slots and the detected/undetected tallies fold
+  // serially in fault order, so the result is identical at any thread
+  // count.
   const auto verdicts = exec::parallel_map<char>(
       faults.size(), [&](std::size_t k) {
-        FaultySimulator bad{netlist, faults[k]};
+        FaultySimulator bad{graph, faults[k]};
         for (std::size_t i = 0; i < vectors.size(); ++i) {
           bad.set_bus(inputs, vectors[i]);
           bad.settle();

@@ -28,6 +28,11 @@ class FaultySimulator {
  public:
   FaultySimulator(const circuit::Netlist& netlist, Fault fault,
                   SimConfig config = {});
+  // Shares a pre-compiled SimGraph — the fault campaign compiles the
+  // netlist once and runs every fault machine against the same graph
+  // instead of re-validating and re-lowering per fault.
+  FaultySimulator(std::shared_ptr<const SimGraph> graph, Fault fault,
+                  SimConfig config = {});
 
   void set_input(circuit::NetId net, circuit::Logic value);
   void set_bus(const circuit::Bus& bus, std::uint64_t value);

@@ -17,7 +17,10 @@ namespace {
 
 // Global simulator metrics (lv::obs). Every counter here is
 // Stability::exact: totals are sums over per-simulator work that does
-// not depend on how a campaign was partitioned across threads.
+// not depend on how a campaign was partitioned across threads. The
+// per-event code never touches these — it bumps plain member
+// accumulators, and drain_events()/finish_cycle() flush them behind a
+// single obs::enabled() check per drain/cycle.
 lv::obs::Counter& c_events() {
   static auto& c = lv::obs::Registry::global().counter("sim.events_processed");
   return c;
@@ -42,6 +45,18 @@ lv::obs::Counter& c_glitches() {
   static auto& c = lv::obs::Registry::global().counter("sim.glitches");
   return c;
 }
+lv::obs::Counter& c_lut_evals() {
+  static auto& c = lv::obs::Registry::global().counter("sim.lut_evals");
+  return c;
+}
+lv::obs::Counter& c_generic_evals() {
+  static auto& c = lv::obs::Registry::global().counter("sim.generic_evals");
+  return c;
+}
+lv::obs::Counter& c_wheel_wraps() {
+  static auto& c = lv::obs::Registry::global().counter("sim.wheel_wraps");
+  return c;
+}
 lv::obs::Gauge& g_queue_hwm() {
   static auto& g = lv::obs::Registry::global().gauge("sim.queue_depth_hwm");
   return g;
@@ -54,22 +69,30 @@ lv::obs::Hist& h_events_per_settle() {
 
 }  // namespace
 
+void ActivityStats::check_net(NetId net) const {
+  if (net >= transitions_.size())
+    throw u::Error("ActivityStats: net out of range");
+}
+
 double ActivityStats::alpha(NetId net) const {
+  check_net(net);
   if (cycles_ == 0) return 0.0;
-  return static_cast<double>(transitions_.at(net)) / 2.0 /
+  return static_cast<double>(transitions_[net]) / 2.0 /
          static_cast<double>(cycles_);
 }
 
 double ActivityStats::toggle_rate(NetId net) const {
+  check_net(net);
   if (cycles_ == 0) return 0.0;
-  return static_cast<double>(transitions_.at(net)) /
+  return static_cast<double>(transitions_[net]) /
          static_cast<double>(cycles_);
 }
 
 double ActivityStats::glitch_fraction(NetId net) const {
-  const auto toggles = transitions_.at(net);
+  check_net(net);
+  const auto toggles = transitions_[net];
   if (toggles == 0) return 0.0;
-  const auto necessary = settled_changes_.at(net);
+  const auto necessary = settled_changes_[net];
   return static_cast<double>(toggles - std::min(toggles, necessary)) /
          static_cast<double>(toggles);
 }
@@ -81,119 +104,145 @@ std::uint64_t ActivityStats::total_transitions() const {
 }
 
 Simulator::Simulator(const circuit::Netlist& netlist, SimConfig config)
-    : netlist_{netlist},
+    : Simulator{SimGraph::compile(netlist), config} {}
+
+Simulator::Simulator(std::shared_ptr<const SimGraph> graph, SimConfig config)
+    : graph_{std::move(graph)},
       config_{config},
-      values_(netlist.net_count(), Logic::x),
-      scheduled_(netlist.net_count(), Logic::x),
-      settled_(netlist.net_count(), Logic::x),
-      flop_state_(netlist.instance_count(), Logic::x),
-      stats_{netlist.net_count()} {
-  netlist.validate();
+      values_(graph_->net_count(), Logic::x),
+      scheduled_(graph_->net_count(), Logic::x),
+      settled_(graph_->net_count(), Logic::x),
+      dirty_flag_(graph_->net_count(), 0),
+      flop_state_(graph_->instance_count(), Logic::x),
+      // Pool hint: several events per net can be pending at once under
+      // the load-delay model (a net rescheduled from differently-delayed
+      // paths holds one node per pending time; glitchy datapaths measure
+      // ~2-3). 4x net count keeps steady state allocation-free; the pool
+      // doubles past it if a pathological netlist needs more.
+      queue_{graph_->max_delay(config.delay_model), 4 * graph_->net_count()},
+      stats_{graph_->net_count()} {
+  nodes_ = graph_->nodes().data();
+  in_nets_ = graph_->input_nets().data();
+  eval_offsets_ = graph_->eval_offsets().data();
+  eval_list_ = graph_->eval_list().data();
+  delay_ = graph_->delays(config_.delay_model).data();
+  luts_ = graph_->luts().data();
+  eval_scratch_.resize(graph_->max_input_count());
+  dirty_nets_.reserve(graph_->net_count());
+  captures_.reserve(graph_->sequential_instances().size());
   // Tie cells establish constants immediately.
-  for (InstanceId i = 0; i < netlist_.instance_count(); ++i) {
-    const auto& inst = netlist_.instance(i);
-    if (inst.kind == CellKind::tie0)
-      schedule(inst.output, Logic::zero, 0);
-    else if (inst.kind == CellKind::tie1)
-      schedule(inst.output, Logic::one, 0);
-  }
+  for (const auto& tie : graph_->tie_inits())
+    schedule(tie.net, tie.value, 0);
   drain_events();
-  std::copy(values_.begin(), values_.end(), settled_.begin());
-  stats_ = ActivityStats{netlist.net_count()};  // discard warm-up toggles
+  sync_settled();
+  stats_ = ActivityStats{graph_->net_count()};  // discard warm-up toggles
 }
 
 void Simulator::set_input(NetId net, Logic value) {
-  const auto& n = netlist_.net(net);
-  u::require(n.is_primary_input,
-             "Simulator: set_input on non-input net '" + n.name + "'");
-  schedule(net, value, now_);
+  if (!graph_->is_primary_input(net)) {
+    const auto& n = netlist().net(net);  // throws for out-of-range nets
+    throw u::Error("Simulator: set_input on non-input net '" + n.name + "'");
+  }
+  schedule(net, value, queue_.time());
 }
 
 void Simulator::set_bus(const circuit::Bus& bus, std::uint64_t value) {
-  u::require(bus.size() <= 64, "Simulator: bus wider than 64 bits");
+  if (bus.size() > 64) throw u::Error("Simulator: bus wider than 64 bits");
   for (std::size_t i = 0; i < bus.size(); ++i)
     set_input(bus[i], circuit::from_bool((value >> i) & 1));
 }
 
+circuit::Logic Simulator::value(NetId net) const {
+  if (net >= values_.size()) throw u::Error("Simulator: net out of range");
+  return values_[net];
+}
+
 bool Simulator::read_bus(const circuit::Bus& bus, std::uint64_t& out) const {
-  u::require(bus.size() <= 64, "Simulator: bus wider than 64 bits");
+  if (bus.size() > 64) throw u::Error("Simulator: bus wider than 64 bits");
+  const std::size_t net_count = values_.size();
   out = 0;
   for (std::size_t i = 0; i < bus.size(); ++i) {
-    const Logic v = values_.at(bus[i]);
+    const NetId id = bus[i];
+    if (id >= net_count) throw u::Error("Simulator: read_bus net out of range");
+    const Logic v = values_[id];
     if (!circuit::is_known(v)) return false;
     if (v == Logic::one) out |= (std::uint64_t{1} << i);
   }
   return true;
 }
 
-std::uint64_t Simulator::gate_delay(InstanceId id) const {
-  switch (config_.delay_model) {
-    case SimConfig::DelayModel::zero:
-      return 0;
-    case SimConfig::DelayModel::unit:
-      return 1;
-    case SimConfig::DelayModel::load: {
-      const auto& inst = netlist_.instance(id);
-      const auto& info = circuit::cell_info(inst.kind);
-      const double load = static_cast<double>(netlist_.fanout_pins(inst.output));
-      return 1 + static_cast<std::uint64_t>(load / (2.0 * info.drive_mult));
-    }
-  }
-  return 1;
-}
-
 void Simulator::schedule(NetId net, Logic value, std::uint64_t time) {
   scheduled_[net] = value;
-  queue_.push(Event{time, seq_++, net, value});
-  if (obs::enabled() && queue_.size() > queue_hwm_)
-    queue_hwm_ = queue_.size();
+  queue_.push(time, {net, value});
+  if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
 }
 
 void Simulator::evaluate_instance(InstanceId id, std::uint64_t now) {
-  const auto& inst = netlist_.instance(id);
-  const auto& info = circuit::cell_info(inst.kind);
-  if (info.sequential) return;  // flops only change on clock_cycle()
-  std::vector<Logic> ins;
-  ins.reserve(inst.inputs.size());
-  for (const NetId in : inst.inputs) ins.push_back(values_[in]);
-  const Logic out = circuit::evaluate_cell(inst.kind, ins);
-  if (out == scheduled_[inst.output]) return;
-  schedule(inst.output, out, now + gate_delay(id));
+  const SimGraph::Node& node = nodes_[id];
+  const NetId* ins = in_nets_ + node.in_begin;
+  Logic out;
+  if (node.lut != SimGraph::kNoLut) {
+    // Pack the 2-bit input codes into a table index: one shift/or per
+    // pin, no allocation, no cell_info lookup.
+    unsigned idx = 0;
+    for (unsigned k = 0; k < node.in_count; ++k)
+      idx |= static_cast<unsigned>(values_[ins[k]]) << (2u * k);
+    out = luts_[node.lut][idx];
+    ++lut_evals_;
+  } else {
+    for (unsigned k = 0; k < node.in_count; ++k)
+      eval_scratch_[k] = values_[ins[k]];
+    out = circuit::evaluate_cell(static_cast<CellKind>(node.kind),
+                                 {eval_scratch_.data(), node.in_count});
+    ++generic_evals_;
+  }
+  if (out == scheduled_[node.output]) return;
+  schedule(node.output, out, now + delay_[id]);
 }
 
-void Simulator::apply_event(const Event& event) {
-  const Logic old = values_[event.net];
-  if (old == event.value) return;
-  values_[event.net] = event.value;
-  if (circuit::is_known(old) && circuit::is_known(event.value)) {
-    ++stats_.transitions_[event.net];
+void Simulator::apply_event(NetId net, Logic value, std::uint64_t time) {
+  const Logic old = values_[net];
+  if (old == value) return;
+  values_[net] = value;
+  if (circuit::is_known(old) && circuit::is_known(value)) {
+    ++stats_.transitions_[net];
     ++cycle_transitions_;
   }
-  for (const InstanceId consumer : netlist_.fanout(event.net))
-    evaluate_instance(consumer, event.time);
+  if (dirty_flag_[net] == 0) {
+    dirty_flag_[net] = 1;
+    dirty_nets_.push_back(net);
+  }
+  const std::uint32_t end = eval_offsets_[net + 1];
+  for (std::uint32_t k = eval_offsets_[net]; k < end; ++k)
+    evaluate_instance(eval_list_[k], time);
 }
 
 std::uint64_t Simulator::drain_events() {
   std::uint64_t processed = 0;
+  const std::uint64_t budget = config_.max_events_per_settle;
   while (!queue_.empty()) {
-    const Event e = queue_.top();
-    queue_.pop();
-    now_ = std::max(now_, e.time);
-    apply_event(e);
-    u::require(++processed <= config_.max_events_per_settle,
-               "Simulator: event budget exceeded (oscillation?)");
+    const CalendarQueue::Entry e = queue_.pop();
+    apply_event(e.net, e.value, queue_.time());
+    if (++processed > budget)
+      throw u::Error("Simulator: event budget exceeded (oscillation?)");
   }
   if (obs::enabled()) {
     c_events().add(processed);
+    c_lut_evals().add(lut_evals_);
+    c_generic_evals().add(generic_evals_);
+    c_wheel_wraps().add(queue_.wraps() - wraps_flushed_);
     g_queue_hwm().update_max(static_cast<double>(queue_hwm_));
-    queue_hwm_ = 0;
   }
+  lut_evals_ = 0;
+  generic_evals_ = 0;
+  wraps_flushed_ = queue_.wraps();
+  queue_hwm_ = 0;
   return processed;
 }
 
 void Simulator::finish_cycle() {
   std::uint64_t changed = 0;
-  for (NetId n = 0; n < netlist_.net_count(); ++n) {
+  for (const NetId n : dirty_nets_) {
     const Logic before = settled_[n];
     const Logic after = values_[n];
     if (circuit::is_known(before) && circuit::is_known(after) &&
@@ -202,7 +251,9 @@ void Simulator::finish_cycle() {
       ++changed;
     }
     settled_[n] = after;
+    dirty_flag_[n] = 0;
   }
+  dirty_nets_.clear();
   ++stats_.cycles_;
   if (obs::enabled()) {
     c_cycles().add(1);
@@ -214,6 +265,12 @@ void Simulator::finish_cycle() {
                      std::min(cycle_transitions_, changed));
   }
   cycle_transitions_ = 0;
+}
+
+void Simulator::sync_settled() {
+  std::copy(values_.begin(), values_.end(), settled_.begin());
+  for (const NetId n : dirty_nets_) dirty_flag_[n] = 0;
+  dirty_nets_.clear();
 }
 
 void Simulator::settle() {
@@ -228,36 +285,37 @@ void Simulator::settle() {
 void Simulator::clock_cycle() {
   // Phase 1: all enabled flops sample D simultaneously (master-slave
   // semantics — captured values are the pre-edge ones).
-  std::vector<std::pair<InstanceId, Logic>> captures;
-  for (const InstanceId i : netlist_.sequential_instances()) {
-    const auto& inst = netlist_.instance(i);
+  captures_.clear();
+  const auto& netlist = graph_->netlist();
+  for (const InstanceId i : graph_->sequential_instances()) {
+    const auto& inst = netlist.instance(i);
     if (!inst.module.empty() &&
         disabled_modules_.count(inst.module) != 0)
       continue;  // gated clock: flop holds state, no internal switching
-    captures.emplace_back(i, values_[inst.inputs[0]]);
+    captures_.emplace_back(i, values_[inst.inputs[0]]);
   }
   // Phase 2: launch new Q values.
-  for (const auto& [id, d] : captures) {
+  for (const auto& [id, d] : captures_) {
     flop_state_[id] = d;
-    const NetId q = netlist_.instance(id).output;
-    if (values_[q] != d) schedule(q, d, now_ + 1);
+    const NetId q = nodes_[id].output;
+    if (values_[q] != d) schedule(q, d, queue_.time() + 1);
   }
   settle();
 }
 
 void Simulator::reset_flops(Logic value) {
-  for (const InstanceId i : netlist_.sequential_instances()) {
+  for (const InstanceId i : graph_->sequential_instances()) {
     flop_state_[i] = value;
-    const NetId q = netlist_.instance(i).output;
-    if (values_[q] != value) schedule(q, value, now_);
+    const NetId q = nodes_[i].output;
+    if (values_[q] != value) schedule(q, value, queue_.time());
   }
   drain_events();
-  std::copy(values_.begin(), values_.end(), settled_.begin());
+  sync_settled();
 }
 
 void Simulator::force_net(NetId net, Logic value) {
-  u::require(net < netlist_.net_count(), "force_net: net out of range");
-  schedule(net, value, now_);
+  if (net >= values_.size()) throw u::Error("force_net: net out of range");
+  schedule(net, value, queue_.time());
   drain_events();
 }
 
@@ -274,8 +332,8 @@ bool Simulator::module_clock_enabled(const std::string& module) const {
 }
 
 void Simulator::clear_stats() {
-  stats_ = ActivityStats{netlist_.net_count()};
-  std::copy(values_.begin(), values_.end(), settled_.begin());
+  stats_ = ActivityStats{values_.size()};
+  sync_settled();
 }
 
 }  // namespace lv::sim

@@ -8,29 +8,30 @@
 // Figs. 8-9's histograms explicitly include them. Per-net statistics
 // separate total transitions from settled-value changes, making the
 // glitch component directly observable.
+//
+// The engine is *compiled*: a sim::SimGraph lowers the netlist once into
+// CSR fanout/input arrays, per-instance delays, and truth-table LUTs
+// (see sim_graph.hpp), and a calendar-queue scheduler replaces the
+// binary heap (see calendar_queue.hpp). Both preserve the historical
+// (time, sequence) event order exactly, so ActivityStats is bit-identical
+// to the interpreted kernel on every netlist and delay model (pinned by
+// tests/sim_kernel_equivalence_test.cpp against a retained copy of the
+// interpreted engine).
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "circuit/generators.hpp"
 #include "circuit/netlist.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/sim_graph.hpp"
 
 namespace lv::sim {
-
-struct SimConfig {
-  enum class DelayModel {
-    zero,  // all gates settle instantaneously (no glitches modelled)
-    unit,  // every gate = 1 tick (glitches from path-depth imbalance)
-    load,  // gate delay = 1 + fanout_pins/drive (heavier loads slower)
-  };
-  DelayModel delay_model = DelayModel::unit;
-  // Safety valve: maximum events processed per settle() call.
-  std::uint64_t max_events_per_settle = 50'000'000;
-};
 
 // Per-net activity accounting. "Transitions" are 0<->1 toggles including
 // glitches; "settled changes" compare quiescent values between cycles.
@@ -41,10 +42,12 @@ class ActivityStats {
       : transitions_(net_count, 0), settled_changes_(net_count, 0) {}
 
   std::uint64_t transitions(circuit::NetId net) const {
-    return transitions_.at(net);
+    check_net(net);
+    return transitions_[net];
   }
   std::uint64_t settled_changes(circuit::NetId net) const {
-    return settled_changes_.at(net);
+    check_net(net);
+    return settled_changes_[net];
   }
   std::uint64_t cycles() const { return cycles_; }
 
@@ -64,12 +67,14 @@ class ActivityStats {
   void set_cycles(std::uint64_t cycles) { cycles_ = cycles; }
   void set_net_counts(circuit::NetId net, std::uint64_t transitions,
                       std::uint64_t settled_changes) {
-    transitions_.at(net) = transitions;
-    settled_changes_.at(net) = settled_changes;
+    check_net(net);
+    transitions_[net] = transitions;
+    settled_changes_[net] = settled_changes;
   }
 
  private:
   friend class Simulator;
+  void check_net(circuit::NetId net) const;
   std::vector<std::uint64_t> transitions_;
   std::vector<std::uint64_t> settled_changes_;
   std::uint64_t cycles_ = 0;
@@ -77,9 +82,17 @@ class ActivityStats {
 
 class Simulator {
  public:
+  // Compiles a private SimGraph for `netlist` (which must outlive the
+  // simulator).
   explicit Simulator(const circuit::Netlist& netlist, SimConfig config = {});
+  // Shares a pre-compiled graph — the cheap form when many simulators run
+  // over one netlist (fault campaigns, sweeps).
+  explicit Simulator(std::shared_ptr<const SimGraph> graph,
+                     SimConfig config = {});
 
-  const circuit::Netlist& netlist() const { return netlist_; }
+  const circuit::Netlist& netlist() const { return graph_->netlist(); }
+  const SimGraph& graph() const { return *graph_; }
+  std::shared_ptr<const SimGraph> shared_graph() const { return graph_; }
 
   // ---- stimulus ----
   void set_input(circuit::NetId net, circuit::Logic value);
@@ -87,7 +100,7 @@ class Simulator {
   void set_bus(const circuit::Bus& bus, std::uint64_t value);
 
   // ---- observation ----
-  circuit::Logic value(circuit::NetId net) const { return values_.at(net); }
+  circuit::Logic value(circuit::NetId net) const;
   // Packs a bus into an integer; returns false if any bit is X.
   bool read_bus(const circuit::Bus& bus, std::uint64_t& out) const;
 
@@ -118,26 +131,28 @@ class Simulator {
   void clear_stats();
 
  private:
-  struct Event {
-    std::uint64_t time;
-    std::uint64_t seq;  // FIFO tie-break for same-time events
-    circuit::NetId net;
-    circuit::Logic value;
-    bool operator>(const Event& other) const {
-      return time != other.time ? time > other.time : seq > other.seq;
-    }
-  };
-
   void schedule(circuit::NetId net, circuit::Logic value, std::uint64_t time);
   void evaluate_instance(circuit::InstanceId id, std::uint64_t now);
-  std::uint64_t gate_delay(circuit::InstanceId id) const;
-  void apply_event(const Event& event);
+  void apply_event(circuit::NetId net, circuit::Logic value,
+                   std::uint64_t time);
   // Returns the number of events processed (observability).
   std::uint64_t drain_events();
   void finish_cycle();
+  // Re-syncs settled_ to values_ wholesale and clears the dirty-net list
+  // (construction, reset_flops, clear_stats).
+  void sync_settled();
 
-  const circuit::Netlist& netlist_;
+  std::shared_ptr<const SimGraph> graph_;
   SimConfig config_;
+  // Hot views resolved once from the graph (per-event code touches only
+  // these flat arrays).
+  const SimGraph::Node* nodes_ = nullptr;
+  const circuit::NetId* in_nets_ = nullptr;
+  const std::uint32_t* eval_offsets_ = nullptr;
+  const circuit::InstanceId* eval_list_ = nullptr;
+  const std::uint32_t* delay_ = nullptr;
+  const SimGraph::Lut* luts_ = nullptr;
+
   std::vector<circuit::Logic> values_;
   // Last value scheduled per net. Gate evaluation compares against this,
   // not the currently-visible value — otherwise an input change that
@@ -145,17 +160,26 @@ class Simulator {
   // event and the net would settle to the wrong value.
   std::vector<circuit::Logic> scheduled_;
   std::vector<circuit::Logic> settled_;
+  // Nets whose visible value changed since the last finish_cycle()/sync;
+  // finish_cycle() walks only these (O(nets touched), not O(net_count)).
+  std::vector<circuit::NetId> dirty_nets_;
+  std::vector<std::uint8_t> dirty_flag_;
   std::vector<circuit::Logic> flop_state_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  std::uint64_t now_ = 0;
-  std::uint64_t seq_ = 0;
+  CalendarQueue queue_;
   std::unordered_set<std::string> disabled_modules_;
   ActivityStats stats_;
-  // Observability scratch (lv::obs): queue-depth high-water mark since
-  // the last drain, and transitions since the last finish_cycle (feeds
-  // the aggregate glitch counter). Maintained only while obs is enabled.
+  // Reused scratch buffers (no per-event or per-cycle heap allocation in
+  // steady state — pinned by tests/sim_alloc_test.cpp).
+  std::vector<std::pair<circuit::InstanceId, circuit::Logic>> captures_;
+  std::vector<circuit::Logic> eval_scratch_;
+  // Observability accumulators. Maintained unconditionally (cheap plain
+  // increments) and flushed to the lv::obs registry once per drain/cycle
+  // — the obs::enabled() check is hoisted out of the per-event path.
   std::uint64_t queue_hwm_ = 0;
   std::uint64_t cycle_transitions_ = 0;
+  std::uint64_t lut_evals_ = 0;
+  std::uint64_t generic_evals_ = 0;
+  std::uint64_t wraps_flushed_ = 0;
 };
 
 }  // namespace lv::sim

@@ -294,3 +294,29 @@ TEST_F(Obs, FaultCampaignCountersAreWidthInvariant) {
       48, static_cast<int>(nl.primary_inputs().size()), 7);
   expect_deterministic_report([&] { lv::sim::fault_coverage(nl, vecs); });
 }
+
+TEST_F(Obs, CompiledKernelCountersArePresentAndWidthInvariant) {
+  // The compiled kernel's new instrumentation — LUT vs generic evaluation
+  // split and calendar-queue wrap count — must be Stability::exact: both
+  // depend only on the netlist, stimulus, and delay model, never on
+  // thread scheduling. Presence in `counters` (not scheduling_counters)
+  // plus the width sweep pins that. sim.graph_compile_ns is a Timer and
+  // therefore exempt from the determinism contract; assert only that
+  // compilation was timed.
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  const auto vecs = lv::sim::random_vectors(
+      32, static_cast<int>(nl.primary_inputs().size()), 9);
+  expect_deterministic_report([&] { lv::sim::fault_coverage(nl, vecs); });
+
+  // The harness left the registry holding the width-8 run; the named
+  // counters must be there with real traffic.
+  const o::RunReport r = o::Registry::global().report();
+  ASSERT_EQ(r.counters.count("sim.lut_evals"), 1u);
+  EXPECT_GT(r.counters.at("sim.lut_evals"), 0u);
+  ASSERT_EQ(r.counters.count("sim.generic_evals"), 1u);
+  ASSERT_EQ(r.counters.count("sim.wheel_wraps"), 1u);
+  EXPECT_EQ(r.scheduling_counters.count("sim.lut_evals"), 0u);
+  EXPECT_EQ(r.scheduling_counters.count("sim.wheel_wraps"), 0u);
+  EXPECT_GT(o::Registry::global().timer("sim.graph_compile_ns").calls(), 0u);
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files benchmark-by-benchmark.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Prints a table of real_time per benchmark name with the candidate/baseline
+ratio. Benchmarks present in only one file are listed separately. With
+--threshold, exits non-zero if any shared benchmark's real_time regressed
+by more than PCT percent — the contract the CI bench-smoke job and local
+before/after runs (EXPERIMENTS.md) both use.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions);
+        # raw iterations carry run_type == "iteration".
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = (float(b["real_time"]), b.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if any benchmark regresses by more than PCT percent",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("bench_diff: no common benchmarks between the two files",
+              file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+          f"{'ratio':>7}")
+    regressions = []
+    for name in shared:
+        (t0, unit), (t1, _) = base[name], cand[name]
+        ratio = t1 / t0 if t0 > 0 else float("inf")
+        print(f"{name:<{width}}  {t0:>10.0f} {unit}  {t1:>10.0f} {unit}  "
+              f"{ratio:>6.2f}x")
+        if args.threshold is not None and ratio > 1.0 + args.threshold / 100.0:
+            regressions.append((name, ratio))
+
+    for name in sorted(set(base) - set(cand)):
+        print(f"only in baseline:  {name}")
+    for name in sorted(set(cand) - set(base)):
+        print(f"only in candidate: {name}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
