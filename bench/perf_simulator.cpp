@@ -3,10 +3,14 @@
 // scaling (google-benchmark; informational).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "circuit/generators.hpp"
 #include "exec/thread_pool.hpp"
 #include "isa/assembler.hpp"
 #include "isa/machine.hpp"
+#include "sim/bp_simulator.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stimulus.hpp"
@@ -52,6 +56,69 @@ void BM_MultiplierSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiplierSimulation)->Arg(4)->Arg(8);
 
+// Same adder stimulus through the bit-parallel kernel: each settle
+// presents 64 vectors at once, so items processed advance 64 per
+// iteration and the per-item rate is directly comparable to
+// BM_AdderSimulation.
+void BM_AdderSimulationWord(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  lv::circuit::Netlist nl;
+  const auto ports = lv::circuit::build_ripple_carry_adder(nl, width);
+  lv::sim::BitParallelSimulator sim{nl};
+  const auto a = lv::sim::random_vectors(256, width, 1);
+  const auto b = lv::sim::random_vectors(256, width, 2);
+  std::size_t i = 0;
+  std::vector<std::uint64_t> a_lanes(lv::sim::kLaneCount);
+  std::vector<std::uint64_t> b_lanes(lv::sim::kLaneCount);
+  for (auto _ : state) {
+    for (std::size_t lane = 0; lane < lv::sim::kLaneCount; ++lane) {
+      a_lanes[lane] = a[(i + lane) & 255];
+      b_lanes[lane] = b[(i + lane) & 255];
+    }
+    sim.set_bus(ports.a, a_lanes);
+    sim.set_bus(ports.b, b_lanes);
+    sim.settle();
+    i += lv::sim::kLaneCount;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * lv::sim::kLaneCount));
+  state.counters["gates"] = static_cast<double>(nl.instance_count());
+}
+BENCHMARK(BM_AdderSimulationWord)->Arg(8)->Arg(16)->Arg(32);
+
+// Activity-extraction workload (1024 random vectors over a 16-bit RCA)
+// through each kernel. The scalar/word pair is the measured speedup that
+// CI gates on (tools/bench_diff.py --require-speedup).
+void BM_AdderWorkloadScalar(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  const auto ports = lv::circuit::build_ripple_carry_adder(nl, 16);
+  const auto a = lv::sim::random_vectors(1024, 16, 21);
+  const auto b = lv::sim::random_vectors(1024, 16, 22);
+  lv::sim::Simulator sim{nl};
+  for (auto _ : state) {
+    lv::sim::run_two_operand_workload(sim, ports.a, ports.b, a, b);
+    benchmark::DoNotOptimize(sim.stats().cycles());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_AdderWorkloadScalar);
+
+void BM_AdderWorkloadWord(benchmark::State& state) {
+  lv::circuit::Netlist nl;
+  const auto ports = lv::circuit::build_ripple_carry_adder(nl, 16);
+  const auto a = lv::sim::random_vectors(1024, 16, 21);
+  const auto b = lv::sim::random_vectors(1024, 16, 22);
+  lv::sim::BitParallelSimulator sim{nl};
+  for (auto _ : state) {
+    lv::sim::run_two_operand_workload(sim, ports.a, ports.b, a, b);
+    benchmark::DoNotOptimize(sim.stats().cycles());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(a.size()));
+}
+BENCHMARK(BM_AdderWorkloadWord);
+
 void BM_MachineIdeaBlock(benchmark::State& state) {
   const auto workload = lv::workloads::idea_workload(1);
   const auto prog = lv::isa::assemble(workload.source);
@@ -75,23 +142,35 @@ void BM_Assembler(benchmark::State& state) {
 BENCHMARK(BM_Assembler);
 
 // Stuck-at fault campaign over an adder, at the worker width given by the
-// argument (/1 = serial code path; results identical at every width).
-void BM_FaultCampaign(benchmark::State& state) {
+// argument (/1 = serial code path; results identical at every width and
+// between the scalar and word kernels). The scalar/word pair at one
+// thread is the measured fault-campaign speedup CI gates on.
+void fault_campaign(benchmark::State& state, lv::sim::FaultKernel kernel) {
   lv::exec::set_thread_count(static_cast<std::size_t>(state.range(0)));
   lv::circuit::Netlist nl;
   lv::circuit::build_ripple_carry_adder(nl, 12);
   const auto vecs = lv::sim::random_vectors(
       64, static_cast<int>(nl.primary_inputs().size()), 7);
   for (auto _ : state) {
-    const auto r = lv::sim::fault_coverage(nl, vecs);
+    const auto r = lv::sim::fault_coverage(nl, vecs, kernel);
     benchmark::DoNotOptimize(r.coverage);
   }
   state.counters["faults"] = static_cast<double>(
       lv::sim::enumerate_faults(nl).size());
   lv::exec::set_thread_count(0);
 }
-BENCHMARK(BM_FaultCampaign)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)
-    ->Arg(8)->UseRealTime();
+
+void BM_FaultCampaignScalar(benchmark::State& state) {
+  fault_campaign(state, lv::sim::FaultKernel::scalar);
+}
+BENCHMARK(BM_FaultCampaignScalar)->ArgName("threads")->Arg(1)->Arg(2)
+    ->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_FaultCampaignWord(benchmark::State& state) {
+  fault_campaign(state, lv::sim::FaultKernel::word);
+}
+BENCHMARK(BM_FaultCampaignWord)->ArgName("threads")->Arg(1)->Arg(2)
+    ->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -30,21 +30,23 @@
 
 #include "circuit/logic.hpp"
 #include "circuit/netlist.hpp"
+#include "sim/word_logic.hpp"
 
 namespace lv::sim {
 
-class CalendarQueue {
+// Generic over the event payload so the scalar kernel (one Logic per
+// event) and the bit-parallel kernel (a 64-lane LogicW per event) share
+// one scheduler implementation — and therefore one ordering contract.
+template <class EntryT>
+class WheelQueue {
  public:
-  struct Entry {
-    circuit::NetId net;
-    circuit::Logic value;
-  };
+  using Entry = EntryT;
 
   // `max_delay` bounds push times relative to the current time: pushes
   // must satisfy time() <= t <= time() + max_delay + 1 (the +1 admits
   // the clock edge, scheduled one tick after quiescence).
-  explicit CalendarQueue(std::uint64_t max_delay,
-                         std::size_t reserve_hint = 0) {
+  explicit WheelQueue(std::uint64_t max_delay,
+                      std::size_t reserve_hint = 0) {
     std::uint64_t capacity = 2;
     while (capacity < max_delay + 2) capacity <<= 1;
     head_.assign(capacity, kNil);
@@ -118,5 +120,19 @@ class CalendarQueue {
   std::uint64_t pending_ = 0;
   std::uint64_t wraps_ = 0;
 };
+
+// One pending value change on one net, in one lane (scalar kernel) or
+// across all 64 lanes (bit-parallel kernel).
+struct ScalarEvent {
+  circuit::NetId net;
+  circuit::Logic value;
+};
+struct WordEvent {
+  circuit::NetId net;
+  LogicW value;
+};
+
+using CalendarQueue = WheelQueue<ScalarEvent>;
+using WordCalendarQueue = WheelQueue<WordEvent>;
 
 }  // namespace lv::sim

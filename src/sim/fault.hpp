@@ -1,13 +1,24 @@
-// Stuck-at fault injection and serial fault simulation.
+// Stuck-at fault injection and fault simulation.
 //
 // Failure-injection support for the logic simulator: a FaultySimulator
 // forces one net to a constant (stuck-at-0/1) regardless of its driver,
-// and `fault_coverage` runs the classic serial fault-simulation loop —
-// for every collapsed fault, replay the vector set against the good
-// machine and count detections at the primary outputs. Used to grade the
-// stimulus generators (random vs counting coverage) and as a harness
-// robustness check: power/timing analyses must keep working on faulty
-// netlists (a bug in a generator shows up here first).
+// and `fault_coverage` grades a vector set against the collapsed fault
+// list. Used to grade the stimulus generators (random vs counting
+// coverage) and as a harness robustness check: power/timing analyses
+// must keep working on faulty netlists (a bug in a generator shows up
+// here first).
+//
+// Two kernels produce bit-identical results:
+//
+//   * FaultKernel::scalar — the classic serial loop: one FaultySimulator
+//     per fault, replayed over the whole vector set.
+//   * FaultKernel::word (default) — bit-parallel: each pass of the
+//     64-lane kernel simulates the good machine in lane 0 and up to 63
+//     distinct fault machines in lanes 1-63 (each fault asserted with
+//     BitParallelSimulator::force_lanes on its own lane only), so one
+//     event-kernel replay retires 63 faults. Detection is a word-level
+//     compare at the primary outputs: a fault lane detects when any
+//     output bit is X or differs from the lane-0 value.
 #pragma once
 
 #include <cstdint>
@@ -53,18 +64,31 @@ class FaultySimulator {
 // primary inputs and the clock.
 std::vector<Fault> enumerate_faults(const circuit::Netlist& netlist);
 
+enum class FaultKernel {
+  scalar,  // one fault machine per replay (serial fault simulation)
+  word,    // 63 fault machines + good machine per 64-lane replay
+};
+
 struct CoverageResult {
   std::size_t total_faults = 0;
   std::size_t detected = 0;
   double coverage = 0.0;  // detected / total
   std::vector<Fault> undetected;
+  // first_detections[i] = number of faults whose *first* detection was
+  // vectors[i] (each fault attributed once, to the earliest detecting
+  // vector; the sum equals `detected`). The marginal-coverage profile of
+  // a vector set: a long zero tail means the extra vectors bought
+  // nothing.
+  std::vector<std::uint64_t> first_detections;
 };
 
-// Serial fault simulation of combinational netlists: applies each input
-// vector to the good and faulty machines and flags a detection when any
-// primary output differs. `vectors` drive all primary inputs as one
-// packed bus (LSB = first declared input).
+// Fault simulation of combinational netlists: applies each input vector
+// to the good and faulty machines and flags a detection when any primary
+// output differs (or reads X on the faulty machine). `vectors` drive all
+// primary inputs as one packed bus (LSB = first declared input). Both
+// kernels return bit-identical results at any thread count.
 CoverageResult fault_coverage(const circuit::Netlist& netlist,
-                              const std::vector<std::uint64_t>& vectors);
+                              const std::vector<std::uint64_t>& vectors,
+                              FaultKernel kernel = FaultKernel::word);
 
 }  // namespace lv::sim

@@ -1,8 +1,11 @@
 #include "sim/sim_graph.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bitset>
 
 #include "obs/metrics.hpp"
+#include "sim/word_logic.hpp"
 
 namespace lv::sim {
 
@@ -56,6 +59,71 @@ const std::vector<SimGraph::Lut>& kind_luts() {
   return tables;
 }
 
+// Verified direct-word-operator admission. A combinational kind gets a
+// direct word plan only if word_evaluate_direct reproduces
+// circuit::evaluate_cell on *every* 3^k three-valued input combination,
+// checked once per process with each candidate input broadcast to all 64
+// lanes plus a rotating per-lane pattern (so a lane-mixing bug in the
+// bitplane algebra cannot hide behind uniform lanes). Any mismatch
+// demotes the kind to the per-lane LUT fallback, which is built through
+// evaluate_cell and therefore correct by construction.
+const std::bitset<static_cast<std::size_t>(CellKind::kind_count)>&
+verified_word_kinds() {
+  static const auto verified = [] {
+    constexpr auto kind_count = static_cast<std::size_t>(CellKind::kind_count);
+    std::bitset<kind_count> ok;
+    constexpr std::array<Logic, 3> codes{Logic::zero, Logic::one, Logic::x};
+    for (std::size_t k = 0; k < kind_count; ++k) {
+      const auto kind = static_cast<CellKind>(k);
+      const CellInfo& info = circuit::cell_info(kind);
+      if (info.sequential || !word_op_candidate(kind)) continue;
+      const int n = info.input_count;
+      int combos = 1;
+      for (int p = 0; p < n; ++p) combos *= 3;
+      bool good = true;
+      for (int c = 0; c < combos && good; ++c) {
+        std::array<Logic, SimGraph::kMaxLutInputs> pins{};
+        std::array<LogicW, SimGraph::kMaxLutInputs> words{};
+        int rest = c;
+        for (int p = 0; p < n; ++p) {
+          pins[static_cast<std::size_t>(p)] =
+              codes[static_cast<std::size_t>(rest % 3)];
+          rest /= 3;
+        }
+        // Lane pattern: lane L holds the combination rotated by L, so
+        // neighbouring lanes carry different combinations.
+        for (unsigned lane = 0; lane < kLaneCount; ++lane) {
+          int rc = (c + static_cast<int>(lane)) % combos;
+          for (int p = 0; p < n; ++p) {
+            words[static_cast<std::size_t>(p)] =
+                with_lane(words[static_cast<std::size_t>(p)], lane,
+                          codes[static_cast<std::size_t>(rc % 3)]);
+            rc /= 3;
+          }
+        }
+        const LogicW got = word_evaluate_direct(kind, words.data());
+        // Every lane must match its own scalar evaluation; lane `c`'s
+        // rotation is 0, i.e. the combination under test.
+        for (unsigned lane = 0; lane < kLaneCount && good; ++lane) {
+          int rc = (c + static_cast<int>(lane)) % combos;
+          std::array<Logic, SimGraph::kMaxLutInputs> lane_pins{};
+          for (int p = 0; p < n; ++p) {
+            lane_pins[static_cast<std::size_t>(p)] =
+                codes[static_cast<std::size_t>(rc % 3)];
+            rc /= 3;
+          }
+          const Logic lane_want = circuit::evaluate_cell(
+              kind, {lane_pins.data(), static_cast<std::size_t>(n)});
+          good = lane_of(got, lane) == lane_want;
+        }
+      }
+      ok[k] = good;
+    }
+    return ok;
+  }();
+  return verified;
+}
+
 }  // namespace
 
 SimGraph::SimGraph(const circuit::Netlist& netlist) : netlist_{netlist} {
@@ -68,6 +136,7 @@ SimGraph::SimGraph(const circuit::Netlist& netlist) : netlist_{netlist} {
 
   // Per-instance nodes + flat input-pin array.
   nodes_.resize(inst_count);
+  word_ops_.assign(inst_count, kWordLut);
   std::size_t pin_total = 0;
   for (InstanceId i = 0; i < inst_count; ++i)
     pin_total += netlist.instance(i).inputs.size();
@@ -84,6 +153,14 @@ SimGraph::SimGraph(const circuit::Netlist& netlist) : netlist_{netlist} {
     node.lut = (!info.sequential && info.input_count <= kMaxLutInputs)
                    ? static_cast<std::uint8_t>(inst.kind)
                    : kNoLut;
+    // Word plan: direct bitwise evaluation for verified kinds, per-lane
+    // LUT fallback otherwise; flops are not event-evaluated.
+    if (info.sequential)
+      word_ops_[i] = kWordSequential;
+    else if (verified_word_kinds()[static_cast<std::size_t>(inst.kind)])
+      word_ops_[i] = static_cast<std::uint8_t>(inst.kind);
+    else
+      word_ops_[i] = kWordLut;
     input_nets_.insert(input_nets_.end(), inst.inputs.begin(),
                        inst.inputs.end());
     max_input_count_ = std::max(max_input_count_, inst.inputs.size());

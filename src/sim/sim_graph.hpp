@@ -57,6 +57,15 @@ class SimGraph {
   static constexpr std::uint8_t kNoLut = 0xff;
   using Lut = std::array<circuit::Logic, 256>;
 
+  // Word-level evaluation plan (bit-parallel kernel): word_ops()[i] is
+  // the CellKind evaluated directly as bitwise ops on whole 64-lane
+  // words, or one of the sentinels below. Direct kinds are admitted only
+  // after their word operator is verified against circuit::evaluate_cell
+  // over every 3^k input combination (sim_graph.cpp), so the word kernel
+  // is lane-for-lane identical to the scalar kernel by construction.
+  static constexpr std::uint8_t kWordLut = 0xfe;         // per-lane LUT path
+  static constexpr std::uint8_t kWordSequential = 0xfd;  // flop: never evaluated
+
   // Per-instance evaluation record (hot: keep it small and flat).
   struct Node {
     circuit::NetId output = circuit::kInvalidNet;
@@ -110,6 +119,9 @@ class SimGraph {
 
   const std::vector<Lut>& luts() const { return luts_; }
 
+  // Per-instance word-level plan (see kWordLut / kWordSequential above).
+  const std::vector<std::uint8_t>& word_ops() const { return word_ops_; }
+
   const std::vector<circuit::InstanceId>& sequential_instances() const {
     return sequential_;
   }
@@ -137,6 +149,7 @@ class SimGraph {
   std::vector<std::uint32_t> delays_[3];
   std::uint64_t max_delay_[3] = {0, 0, 0};
   std::vector<Lut> luts_;
+  std::vector<std::uint8_t> word_ops_;
   std::vector<circuit::InstanceId> sequential_;
   std::vector<TieInit> tie_inits_;
   std::vector<std::uint8_t> net_is_input_;

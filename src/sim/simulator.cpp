@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "sim/bus_pack.hpp"
 #include "util/error.hpp"
 
 namespace lv::sim {
@@ -147,9 +148,8 @@ void Simulator::set_input(NetId net, Logic value) {
 }
 
 void Simulator::set_bus(const circuit::Bus& bus, std::uint64_t value) {
-  if (bus.size() > 64) throw u::Error("Simulator: bus wider than 64 bits");
-  for (std::size_t i = 0; i < bus.size(); ++i)
-    set_input(bus[i], circuit::from_bool((value >> i) & 1));
+  unpack_bus(bus, value, "Simulator: set_bus",
+             [this](NetId net, Logic v) { set_input(net, v); });
 }
 
 circuit::Logic Simulator::value(NetId net) const {
@@ -158,17 +158,8 @@ circuit::Logic Simulator::value(NetId net) const {
 }
 
 bool Simulator::read_bus(const circuit::Bus& bus, std::uint64_t& out) const {
-  if (bus.size() > 64) throw u::Error("Simulator: bus wider than 64 bits");
-  const std::size_t net_count = values_.size();
-  out = 0;
-  for (std::size_t i = 0; i < bus.size(); ++i) {
-    const NetId id = bus[i];
-    if (id >= net_count) throw u::Error("Simulator: read_bus net out of range");
-    const Logic v = values_[id];
-    if (!circuit::is_known(v)) return false;
-    if (v == Logic::one) out |= (std::uint64_t{1} << i);
-  }
-  return true;
+  return pack_bus(bus, values_.size(), "Simulator: read_bus",
+                  [this](NetId id) { return values_[id]; }, out);
 }
 
 void Simulator::schedule(NetId net, Logic value, std::uint64_t time) {

@@ -74,6 +74,7 @@ class ActivityStats {
 
  private:
   friend class Simulator;
+  friend class BitParallelSimulator;
   void check_net(circuit::NetId net) const;
   std::vector<std::uint64_t> transitions_;
   std::vector<std::uint64_t> settled_changes_;

@@ -307,7 +307,8 @@ TEST_F(Obs, CompiledKernelCountersArePresentAndWidthInvariant) {
   lv::circuit::build_ripple_carry_adder(nl, 8);
   const auto vecs = lv::sim::random_vectors(
       32, static_cast<int>(nl.primary_inputs().size()), 9);
-  expect_deterministic_report([&] { lv::sim::fault_coverage(nl, vecs); });
+  expect_deterministic_report(
+      [&] { lv::sim::fault_coverage(nl, vecs, lv::sim::FaultKernel::scalar); });
 
   // The harness left the registry holding the width-8 run; the named
   // counters must be there with real traffic.
@@ -319,4 +320,24 @@ TEST_F(Obs, CompiledKernelCountersArePresentAndWidthInvariant) {
   EXPECT_EQ(r.scheduling_counters.count("sim.lut_evals"), 0u);
   EXPECT_EQ(r.scheduling_counters.count("sim.wheel_wraps"), 0u);
   EXPECT_GT(o::Registry::global().timer("sim.graph_compile_ns").calls(), 0u);
+}
+
+TEST_F(Obs, WordKernelCountersArePresentAndWidthInvariant) {
+  // Same contract for the bit-parallel kernel's "sim.word_*" family: all
+  // Stability::exact (the batch fold is serial in fault order and each
+  // batch's event traffic depends only on the netlist and stimulus).
+  lv::circuit::Netlist nl;
+  lv::circuit::build_ripple_carry_adder(nl, 8);
+  const auto vecs = lv::sim::random_vectors(
+      32, static_cast<int>(nl.primary_inputs().size()), 9);
+  expect_deterministic_report(
+      [&] { lv::sim::fault_coverage(nl, vecs, lv::sim::FaultKernel::word); });
+
+  const o::RunReport r = o::Registry::global().report();
+  ASSERT_EQ(r.counters.count("sim.word_events_processed"), 1u);
+  EXPECT_GT(r.counters.at("sim.word_events_processed"), 0u);
+  ASSERT_EQ(r.counters.count("sim.word_direct_evals"), 1u);
+  EXPECT_GT(r.counters.at("sim.word_direct_evals"), 0u);
+  ASSERT_EQ(r.counters.count("sim.word_lane_cycles"), 1u);
+  EXPECT_EQ(r.scheduling_counters.count("sim.word_direct_evals"), 0u);
 }

@@ -22,6 +22,7 @@
 #include "circuit/netlist.hpp"
 #include "exec/thread_pool.hpp"
 #include "reference_simulator.hpp"
+#include "sim/bp_simulator.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stimulus.hpp"
@@ -153,6 +154,75 @@ TEST(SimKernelEquivalence, SettleWithoutChangesKeepsAccountingAligned) {
       sim.set_bus(ports.b, 0xa5);
       for (int i = 0; i < 5; ++i) sim.settle();
     });
+  }
+}
+
+TEST(SimKernelEquivalence, WordKernelXLanesMatchInterpretedOraclePerLane) {
+  // Three-engine closure with X-carrying stimulus: a word-kernel lane, a
+  // scalar compiled run, and the retained interpreted oracle must agree
+  // exactly when lanes disagree on X vs 0/1 at the same inputs. The
+  // oracle leg is what anchors the word kernel's X-propagation to the
+  // historical semantics rather than to the scalar compiled kernel alone.
+  c::Netlist nl;
+  const auto ports = c::build_ripple_carry_adder(nl, 8);
+  const auto base = s::random_vectors(10, 8, 55);
+  // Per-lane input for operand-a bit j: lane 0 known, lane 1 X on even
+  // bits, lane 2 all X, lane 3 complemented known.
+  const auto lane_value = [&](unsigned lane, std::size_t i,
+                              std::size_t j) -> c::Logic {
+    const bool bit = (base[i] >> j) & 1;
+    switch (lane) {
+      case 1: return (j % 2 == 0) ? c::Logic::x : c::from_bool(bit);
+      case 2: return c::Logic::x;
+      case 3: return c::from_bool(!bit);
+      default: return c::from_bool(bit);
+    }
+  };
+  for (const auto model : kModels) {
+    const s::SimConfig config{model, 50'000'000};
+    s::BitParallelSimulator word{nl, config, {.per_lane_stats = true}};
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      for (std::size_t j = 0; j < ports.a.size(); ++j) {
+        s::LogicW w{0, 0};
+        for (unsigned lane = 0; lane < 4; ++lane)
+          w = s::with_lane(w, lane, lane_value(lane, i, j));
+        word.set_input(ports.a[j], w);
+      }
+      word.set_bus_broadcast(ports.b, base[i]);
+      word.settle();
+    }
+    for (unsigned lane = 0; lane < 4; ++lane) {
+      const s::SimConfig cfg{model, 50'000'000};
+      s::Simulator compiled{nl, cfg};
+      s::testing::ReferenceSimulator oracle{nl, cfg};
+      const auto drive = [&](auto& sim) {
+        for (std::size_t i = 0; i < base.size(); ++i) {
+          for (std::size_t j = 0; j < ports.a.size(); ++j)
+            sim.set_input(ports.a[j], lane_value(lane, i, j));
+          sim.set_bus(ports.b, base[i]);
+          sim.settle();
+        }
+      };
+      drive(compiled);
+      drive(oracle);
+      const s::ActivityStats lane_stats = word.lane_stats(lane);
+      ASSERT_EQ(lane_stats.cycles(), oracle.stats().cycles);
+      for (c::NetId n = 0; n < nl.net_count(); ++n) {
+        ASSERT_EQ(word.value(n, lane), oracle.value(n))
+            << "net '" << nl.net(n).name << "' lane " << lane << " model "
+            << model_name(model);
+        ASSERT_EQ(word.value(n, lane), compiled.value(n))
+            << "net '" << nl.net(n).name << "' lane " << lane << " model "
+            << model_name(model);
+        ASSERT_EQ(lane_stats.transitions(n), oracle.stats().transitions[n])
+            << "net '" << nl.net(n).name << "' lane " << lane << " model "
+            << model_name(model);
+        ASSERT_EQ(lane_stats.settled_changes(n),
+                  oracle.stats().settled_changes[n])
+            << "net '" << nl.net(n).name << "' lane " << lane << " model "
+            << model_name(model);
+      }
+    }
   }
 }
 

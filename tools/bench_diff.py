@@ -9,6 +9,13 @@ ratio. Benchmarks present in only one file are listed separately. With
 --threshold, exits non-zero if any shared benchmark's real_time regressed
 by more than PCT percent — the contract the CI bench-smoke job and local
 before/after runs (EXPERIMENTS.md) both use.
+
+--require-speedup SLOW,FAST,RATIO (repeatable) additionally asserts a
+relationship *within* the candidate file: benchmark SLOW's real_time must
+be at least RATIO times benchmark FAST's. The bench-smoke job uses this to
+pin the bit-parallel kernel's advantage over the scalar one, so a
+regression in either kernel fails the build even though the job has no
+cross-run baseline.
 """
 
 import argparse
@@ -40,6 +47,13 @@ def main():
         metavar="PCT",
         help="fail if any benchmark regresses by more than PCT percent",
     )
+    ap.add_argument(
+        "--require-speedup",
+        action="append",
+        default=[],
+        metavar="SLOW,FAST,RATIO",
+        help="fail unless candidate real_time(SLOW) >= RATIO * real_time(FAST)",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -67,11 +81,35 @@ def main():
     for name in sorted(set(cand) - set(base)):
         print(f"only in candidate: {name}")
 
+    unmet = []
+    for spec in args.require_speedup:
+        try:
+            slow, fast, ratio_s = spec.split(",")
+            want = float(ratio_s)
+        except ValueError:
+            print(f"bench_diff: bad --require-speedup spec {spec!r} "
+                  f"(expected SLOW,FAST,RATIO)", file=sys.stderr)
+            return 2
+        missing = [n for n in (slow, fast) if n not in cand]
+        if missing:
+            print(f"bench_diff: --require-speedup names not in candidate: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 2
+        got = cand[slow][0] / cand[fast][0] if cand[fast][0] > 0 else 0.0
+        status = "OK" if got >= want else "FAIL"
+        print(f"speedup {status}: {slow} / {fast} = {got:.2f}x "
+              f"(required {want:.2f}x)")
+        if got < want:
+            unmet.append(spec)
+
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
               f"{args.threshold:.1f}%:", file=sys.stderr)
         for name, ratio in regressions:
             print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+        return 1
+    if unmet:
+        print(f"\n{len(unmet)} speedup requirement(s) unmet", file=sys.stderr)
         return 1
     return 0
 

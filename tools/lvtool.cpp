@@ -224,15 +224,42 @@ int cmd_simulate(const Args& args) {
       args.number("--vectors", 1000));
   const auto seed = static_cast<std::uint64_t>(args.number("--seed", 1));
 
-  lv::sim::Simulator sim = simulate_random(nl, vectors, seed);
-  std::printf("simulated %llu cycles; total transitions %llu; mean alpha "
-              "%.4f\n",
-              static_cast<unsigned long long>(sim.stats().cycles()),
-              static_cast<unsigned long long>(
-                  sim.stats().total_transitions()),
-              lv::sim::mean_alpha(sim));
+  const auto kernel = args.text("--kernel").value_or("scalar");
+  if (kernel != "scalar" && kernel != "word")
+    throw chk::InputError(chk::codes::cli_option,
+                          "--kernel must be 'scalar' or 'word', got '" +
+                              kernel + "'");
+  const lv::sim::ActivityStats stats = [&] {
+    if (kernel == "word") {
+      // Bit-parallel replay: 64 vectors per settle through the
+      // lane-chunked workload runner, stats bit-identical to the scalar
+      // replay (see sim/stimulus.cpp).
+      u::require(nl.sequential_instances().empty(),
+                 "simulate: --kernel word needs a combinational netlist");
+      const c::Bus inputs = nl.primary_inputs();
+      u::require(!inputs.empty(), "netlist has no primary inputs");
+      u::require(inputs.size() <= 64, "more than 64 primary inputs");
+      lv::sim::BitParallelSimulator sim{nl};
+      sim.set_bus_broadcast(inputs, 0);
+      sim.settle();
+      sim.clear_stats();
+      const auto vecs = lv::sim::random_vectors(
+          vectors, static_cast<int>(inputs.size()), seed);
+      lv::sim::run_two_operand_workload(
+          sim, inputs, {}, vecs,
+          std::vector<std::uint64_t>(vecs.size(), 0));
+      return sim.stats();
+    }
+    return simulate_random(nl, vectors, seed).stats();
+  }();
+  std::printf("simulated %llu cycles (%s kernel); total transitions %llu; "
+              "mean alpha %.4f\n",
+              static_cast<unsigned long long>(stats.cycles()),
+              kernel.c_str(),
+              static_cast<unsigned long long>(stats.total_transitions()),
+              lv::sim::mean_alpha(nl, stats));
   if (const auto out = args.text("--activity-out")) {
-    write_file(*out, lv::sim::to_activity_text(nl, sim.stats()));
+    write_file(*out, lv::sim::to_activity_text(nl, stats));
     std::printf("activity written to %s\n", out->c_str());
   }
   if (const auto out = args.text("--vcd-out")) {
@@ -412,10 +439,38 @@ int cmd_faults(const Args& args) {
   const auto vecs = lv::sim::random_vectors(
       vectors, static_cast<int>(nl.primary_inputs().size()),
       static_cast<std::uint64_t>(args.number("--seed", 1)));
-  const auto result = lv::sim::fault_coverage(nl, vecs);
-  std::printf("stuck-at faults: %zu; detected %zu; coverage %.2f%%\n",
+  const auto kernel_name = args.text("--kernel").value_or("word");
+  if (kernel_name != "scalar" && kernel_name != "word")
+    throw chk::InputError(chk::codes::cli_option,
+                          "--kernel must be 'scalar' or 'word', got '" +
+                              kernel_name + "'");
+  const auto result = lv::sim::fault_coverage(
+      nl, vecs,
+      kernel_name == "word" ? lv::sim::FaultKernel::word
+                            : lv::sim::FaultKernel::scalar);
+  std::printf("stuck-at faults: %zu; detected %zu; coverage %.2f%% "
+              "(%s kernel)\n",
               result.total_faults, result.detected,
-              result.coverage * 100.0);
+              result.coverage * 100.0, kernel_name.c_str());
+  if (result.detected > 0) {
+    // First-detection profile: how quickly the vector set earns its
+    // coverage (cumulative detections over result.first_detections).
+    std::size_t cum = 0, v50 = 0, v90 = 0, last = 0;
+    for (std::size_t i = 0; i < result.first_detections.size(); ++i) {
+      const auto d = result.first_detections[i];
+      if (d == 0) continue;
+      if (cum * 2 < result.detected && (cum + d) * 2 >= result.detected)
+        v50 = i;
+      if (cum * 10 < result.detected * 9 &&
+          (cum + d) * 10 >= result.detected * 9)
+        v90 = i;
+      cum += d;
+      last = i;
+    }
+    std::printf("first-detection profile: 50%% of detected faults by "
+                "vector %zu, 90%% by %zu, last new detection at %zu\n",
+                v50, v90, last);
+  }
   std::size_t shown = 0;
   for (const auto& f : result.undetected) {
     if (shown++ >= 10) {
@@ -571,7 +626,7 @@ void usage() {
       "  gen <rca|cla|csel|ks|mul|shifter|alu> <width> [-o file]\n"
       "  stats <netlist>\n"
       "  simulate <netlist> [--vectors N] [--seed S]\n"
-      "           [--activity-out f] [--vcd-out f]\n"
+      "           [--kernel scalar|word] [--activity-out f] [--vcd-out f]\n"
       "  power <netlist> <tech> [--vdd V] [--fclk HZ]\n"
       "        (--alpha A | --activity f)\n"
       "  timing <netlist> <tech> [--vdd V]\n"
@@ -581,7 +636,7 @@ void usage() {
       "          [--gap N] [--blocks N]\n"
       "  techfile <tech>\n"
       "  glitch <netlist> <tech> [--vectors N] [--vdd V]\n"
-      "  faults <netlist> [--vectors N]\n"
+      "  faults <netlist> [--vectors N] [--kernel word|scalar]\n"
       "  paths <netlist> <tech> [--k N] [--vdd V]\n"
       "  sizing <netlist> <tech> [--margin M] [--min-size S]\n"
       "  optimize <netlist> [-o file]\n"
