@@ -1,0 +1,56 @@
+// Fuzz target for the lvrpc/1 frame decoder and request payload codec —
+// the hostile-input boundary of `lvtool serve`.
+//
+// Properties checked on every input:
+//   1. No crash / sanitizer finding in decode_frame for any byte string,
+//      at several max_payload caps (including caps smaller than the
+//      header so the oversize path is always reachable).
+//   2. decode_frame never consumes more bytes than it was given, and an
+//      ok frame's payload length matches its header.
+//   3. Any frame the decoder accepts as a request payload either decodes
+//      via decode_request or throws check::InputError (svc.payload) —
+//      no other exception type, no allocation driven by a lying inner
+//      length prefix.
+//   4. Accepted requests re-encode and re-decode to the same fields
+//      (codec fixed point).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "check/diag.hpp"
+#include "svc/protocol.hpp"
+
+namespace {
+constexpr std::size_t kMaxInput = 1 << 16;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxInput) return 0;
+  const std::string_view bytes{reinterpret_cast<const char*>(data), size};
+
+  for (const std::uint32_t cap : {16u, 4096u, lv::svc::kDefaultMaxPayload}) {
+    const lv::svc::FrameDecode d = lv::svc::decode_frame(bytes, cap);
+    if (d.consumed > bytes.size()) __builtin_trap();
+    if (d.status == lv::svc::FrameDecode::Status::ok &&
+        d.frame.payload.size() > cap)
+      __builtin_trap();
+  }
+
+  // The payload codec must classify arbitrary bytes too: the reader hands
+  // any request frame's payload straight to decode_request.
+  try {
+    const lv::svc::Request req = lv::svc::decode_request(bytes);
+    const lv::svc::Request back =
+        lv::svc::decode_request(lv::svc::encode_request(req));
+    if (back.op != req.op || back.inputs != req.inputs ||
+        back.params.positional != req.params.positional ||
+        back.params.options != req.params.options ||
+        back.deadline_ms != req.deadline_ms)
+      __builtin_trap();
+  } catch (const lv::check::InputError&) {
+    // Coded rejection is the contract for malformed payloads.
+  }
+  return 0;
+}

@@ -51,4 +51,16 @@ inline constexpr char act_zero_cycles[] = "act.zero_cycles";  // counts with cyc
 inline constexpr char power_nonfinite[] = "power.nonfinite";
 inline constexpr char sta_nonfinite[] = "sta.nonfinite";
 
+// ---- svc: request layer + lvrpc/1 wire protocol -----------------------
+inline constexpr char svc_frame[] = "svc.frame";      // bad magic / garbage header
+inline constexpr char svc_version[] = "svc.version";  // protocol version mismatch
+inline constexpr char svc_oversize[] = "svc.oversize";  // payload exceeds the cap
+inline constexpr char svc_truncated[] = "svc.truncated";  // stream ended mid-frame
+inline constexpr char svc_payload[] = "svc.payload";  // malformed request payload
+inline constexpr char svc_op[] = "svc.op";            // unknown operation name
+inline constexpr char svc_overload[] = "svc.overload";  // request queue full
+inline constexpr char svc_deadline[] = "svc.deadline";  // deadline expired in queue
+inline constexpr char svc_state[] = "svc.state";      // frame out of session order
+inline constexpr char svc_io[] = "svc.io";            // socket-level failure
+
 }  // namespace lv::check::codes

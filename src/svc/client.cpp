@@ -1,0 +1,121 @@
+#include "svc/client.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "check/codes.hpp"
+#include "check/diag.hpp"
+#include "svc/handlers.hpp"
+#include "svc/protocol.hpp"
+
+namespace lv::svc {
+
+namespace {
+
+// Reads a local file if it exists; nullopt otherwise (predefined tech
+// names and server-local paths are forwarded untouched).
+std::optional<std::string> read_if_exists(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (!in && !in.eof()) return std::nullopt;
+  return text.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out || !(out << content))
+    throw check::InputError(check::codes::io_write,
+                            "cannot write '" + path + "'", {path, 0});
+}
+
+// One blocking round-trip; enforces the expected reply kind and maps
+// error frames / violations to coded InputErrors.
+Frame round_trip(int fd, FrameReader& reader, FrameKind kind,
+                 std::uint64_t id, std::string_view payload,
+                 FrameKind expect) {
+  if (!send_all(fd, encode_frame(kind, id, payload)))
+    throw check::InputError(check::codes::svc_io,
+                            "connection lost while sending");
+  const FrameReader::Result r = reader.next(fd);
+  if (r.kind == FrameReader::Result::Kind::eof)
+    throw check::InputError(check::codes::svc_io,
+                            "server closed the connection");
+  if (r.kind == FrameReader::Result::Kind::bad)
+    throw check::InputError(r.code, r.message);
+  if (r.frame.kind == FrameKind::error)
+    throw check::InputError(check::codes::svc_state,
+                            "server error: " + r.frame.payload);
+  if (r.frame.kind != expect)
+    throw check::InputError(check::codes::svc_state,
+                            "unexpected reply frame kind");
+  return r.frame;
+}
+
+}  // namespace
+
+int run_client(const ClientOptions& options, int argc, char** argv,
+               int first) {
+  const int fd = connect_to(options.endpoint);
+  FrameReader reader;
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  const Frame hello = round_trip(fd, reader, FrameKind::hello, 0,
+                                 "lvtool client lvrpc/1", FrameKind::hello_ok);
+  if (options.verbose) std::fputs(hello.payload.c_str(), stderr);
+
+  if (options.shutdown) {
+    round_trip(fd, reader, FrameKind::shutdown, 1, "",
+               FrameKind::shutdown_ok);
+    return 0;
+  }
+
+  if (first >= argc)
+    throw check::InputError(check::codes::cli_option,
+                            "client needs a subcommand to forward");
+  Request request;
+  request.op = argv[first];
+  request.params = parse_params(argc, argv, first + 1);
+  request.deadline_ms = options.deadline_ms;
+
+  // Upload the operation's input files. Values that are not local files
+  // (predefined process names, server-side paths) pass through as plain
+  // parameters.
+  if (const OpSpec* spec = find_op(request.op)) {
+    for (const InputSlot& slot : spec->inputs) {
+      std::optional<std::string> value;
+      if (slot.positional >= 0 &&
+          static_cast<std::size_t>(slot.positional) <
+              request.params.positional.size())
+        value = request.params.positional[static_cast<std::size_t>(
+            slot.positional)];
+      else if (slot.option != nullptr)
+        value = request.params.text(slot.option);
+      if (!value) continue;
+      if (auto content = read_if_exists(*value))
+        request.inputs[slot.role] = std::move(*content);
+    }
+  }
+
+  const Frame reply =
+      round_trip(fd, reader, FrameKind::request, 1,
+                 encode_request(request), FrameKind::response);
+  const Response response = decode_response(reply.payload);
+
+  // Same materialization order as the CLI adapter: artifacts first, so
+  // a failed write aborts before any stdout is emitted.
+  for (const auto& file : response.files) write_file(file.path, file.content);
+  if (!response.err.empty()) std::fputs(response.err.c_str(), stderr);
+  if (!response.out.empty()) std::fputs(response.out.c_str(), stdout);
+  return response.exit_code;
+}
+
+}  // namespace lv::svc

@@ -1,0 +1,30 @@
+// `lvtool client` — forwards one subcommand to a running `lvtool serve`
+// and materializes the response locally: server stdout bytes to stdout,
+// stderr bytes to stderr, returned file artifacts written next to the
+// user, process exit code = the operation's exit code. Input files named
+// by the subcommand are read client-side and shipped inline (the server
+// never sees the client's filesystem), which is also what feeds the
+// server's per-session content-hash cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/socket.hpp"
+
+namespace lv::svc {
+
+struct ClientOptions {
+  Endpoint endpoint;
+  bool shutdown = false;         // send a graceful-shutdown frame instead
+  bool verbose = false;          // print the server hello banner to stderr
+  std::uint32_t deadline_ms = 0; // forwarded per-request budget
+};
+
+// Runs `argv[first..)` (subcommand + its arguments) against the server.
+// Returns the process exit code. Throws check::InputError on transport
+// or protocol violations (exit 2 at the CLI).
+int run_client(const ClientOptions& options, int argc, char** argv,
+               int first);
+
+}  // namespace lv::svc

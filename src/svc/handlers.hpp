@@ -1,0 +1,47 @@
+// The operation registry of the lv::svc request layer.
+//
+// Every lvtool subcommand is one OpSpec: a name, a handler that turns a
+// Request into a Response, and the spec of which positionals/options
+// name *input files* (so `lvtool client` knows what to upload inline).
+// The CLI adapter, the server workers, and tests all dispatch through
+// this one table — there is no second implementation of any operation.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "svc/request.hpp"
+#include "svc/session.hpp"
+
+namespace lv::svc {
+
+struct ServiceContext {
+  Session& session;
+};
+
+// Where an operation's input file arrives on the command line. Exactly
+// one of `positional` (>= 0) or `option` (non-null) identifies the
+// token; the token's value is a path (or a predefined process name for
+// the "tech" role). In server mode the same content travels inline in
+// Request::inputs under `role`.
+struct InputSlot {
+  const char* role;
+  int positional = -1;
+  const char* option = nullptr;
+};
+
+struct OpSpec {
+  const char* name;
+  Response (*fn)(ServiceContext&, const Request&);
+  std::vector<InputSlot> inputs;
+};
+
+const std::vector<OpSpec>& registry();
+const OpSpec* find_op(std::string_view name);
+
+// Version/compatibility banner shared by `lvtool version`, the serve
+// startup banner, and the protocol hello exchange: tool version,
+// protocol version + frame limits, kernel availability, build flags.
+std::string version_text();
+
+}  // namespace lv::svc

@@ -1,0 +1,78 @@
+// Request parameters: the parsed form of a command line, shared by every
+// front-end of the lv::svc request layer.
+//
+// The CLI tokenizes argv into a Params; `lvtool client` does the same
+// and ships it over the wire; the server decodes it back. Typed getters
+// throw coded InputErrors (exit 2 at the CLI, a diagnostic response over
+// the protocol) so bad values are the caller's input error everywhere,
+// never a silent atof() zero.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/codes.hpp"
+#include "check/diag.hpp"
+#include "check/parse.hpp"
+
+namespace lv::svc {
+
+struct Params {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // "--key" -> value
+
+  bool flag(const std::string& key) const {
+    return options.count(key) != 0;
+  }
+  double number(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : check::require_double(it->second, key);
+  }
+  // Like number(), but for physical quantities (supplies, frequencies)
+  // that must be strictly positive: a non-positive value is the user's
+  // input error (exit 2), not a library precondition failure (exit 1).
+  double positive(const std::string& key, double fallback) const {
+    const double v = number(key, fallback);
+    if (!(v > 0.0))
+      throw check::InputError(
+          check::codes::cli_number,
+          key + " must be > 0, got " + std::to_string(v));
+    return v;
+  }
+  long long integer(const std::string& key, long long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : check::require_int(it->second, key);
+  }
+  std::optional<std::string> text(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+// Tokenizes argv[first..) into positionals and "--key value" options.
+// "--stats" and "--strict" are boolean flags (no value token); "-o" is
+// the historical alias for "--out".
+inline Params parse_params(int argc, char** argv, int first) {
+  Params params;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--stats" || token == "--strict") {
+      params.options[token] = "1";
+    } else if (token.rfind("--", 0) == 0 || token == "-o") {
+      if (i + 1 >= argc)
+        throw check::InputError(check::codes::cli_option,
+                                "option '" + token + "' needs a value");
+      params.options[token == "-o" ? "--out" : token] = argv[++i];
+    } else {
+      params.positional.push_back(token);
+    }
+  }
+  return params;
+}
+
+}  // namespace lv::svc

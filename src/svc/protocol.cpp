@@ -1,0 +1,220 @@
+#include "svc/protocol.hpp"
+
+#include <cstring>
+
+#include "check/codes.hpp"
+#include "check/diag.hpp"
+
+namespace lv::svc {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+// Bounds-checked reader over a payload. Every violation is the sender's
+// input error: coded svc.payload, never UB. Lengths are validated
+// against the *remaining* bytes before any allocation, so a hostile
+// length field cannot drive memory use past the (already capped)
+// payload size.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32(const char* what) {
+    if (bytes_.size() - pos_ < 4) fail(what, "truncated u32");
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(bytes_.data() + pos_);
+    pos_ += 4;
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+
+  std::string str(const char* what) {
+    const std::uint32_t len = u32(what);
+    if (bytes_.size() - pos_ < len) fail(what, "length exceeds payload");
+    std::string s{bytes_.substr(pos_, len)};
+    pos_ += len;
+    return s;
+  }
+
+  void finish() {
+    if (pos_ != bytes_.size()) fail("payload", "trailing bytes after message");
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what, const char* why) {
+    throw check::InputError(
+        check::codes::svc_payload,
+        std::string{"malformed payload: "} + what + ": " + why);
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_frame(FrameKind kind, std::uint64_t request_id,
+                         std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kProtocolVersion);
+  put_u32(out, static_cast<std::uint32_t>(kind));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, request_id);
+  out.append(payload);
+  return out;
+}
+
+FrameDecode decode_frame(std::string_view bytes, std::uint32_t max_payload) {
+  FrameDecode r;
+  if (bytes.size() < kHeaderSize) {
+    r.status = FrameDecode::Status::need_more;
+    return r;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  if (std::memcmp(p, kMagic, sizeof kMagic) != 0) {
+    r.status = FrameDecode::Status::bad;
+    r.code = check::codes::svc_frame;
+    r.message = "bad frame magic (stream out of sync)";
+    return r;
+  }
+  const auto u32_at = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(p[off]) |
+           (static_cast<std::uint32_t>(p[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(p[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(p[off + 3]) << 24);
+  };
+  const std::uint32_t version = u32_at(4);
+  if (version != kProtocolVersion) {
+    r.status = FrameDecode::Status::bad;
+    r.code = check::codes::svc_version;
+    r.message = "protocol version " + std::to_string(version) +
+                " (this build speaks " + std::to_string(kProtocolVersion) +
+                ")";
+    return r;
+  }
+  const std::uint32_t kind = u32_at(8);
+  if (kind < static_cast<std::uint32_t>(FrameKind::hello) ||
+      kind > static_cast<std::uint32_t>(FrameKind::shutdown_ok)) {
+    r.status = FrameDecode::Status::bad;
+    r.code = check::codes::svc_frame;
+    r.message = "unknown frame kind " + std::to_string(kind);
+    return r;
+  }
+  const std::uint32_t payload_len = u32_at(12);
+  if (payload_len > max_payload) {
+    r.status = FrameDecode::Status::bad;
+    r.code = check::codes::svc_oversize;
+    r.message = "payload of " + std::to_string(payload_len) +
+                " B exceeds the " + std::to_string(max_payload) + " B cap";
+    return r;
+  }
+  if (bytes.size() - kHeaderSize < payload_len) {
+    r.status = FrameDecode::Status::need_more;
+    return r;
+  }
+  r.status = FrameDecode::Status::ok;
+  r.frame.kind = static_cast<FrameKind>(kind);
+  r.frame.request_id =
+      static_cast<std::uint64_t>(u32_at(16)) |
+      (static_cast<std::uint64_t>(u32_at(20)) << 32);
+  r.frame.payload = std::string{bytes.substr(kHeaderSize, payload_len)};
+  r.consumed = kHeaderSize + payload_len;
+  return r;
+}
+
+std::string encode_request(const Request& request) {
+  std::string out;
+  put_str(out, request.op);
+  put_u32(out, request.deadline_ms);
+  put_u32(out, static_cast<std::uint32_t>(request.params.options.size()));
+  for (const auto& [k, v] : request.params.options) {
+    put_str(out, k);
+    put_str(out, v);
+  }
+  put_u32(out, static_cast<std::uint32_t>(request.params.positional.size()));
+  for (const auto& p : request.params.positional) put_str(out, p);
+  put_u32(out, static_cast<std::uint32_t>(request.inputs.size()));
+  for (const auto& [role, content] : request.inputs) {
+    put_str(out, role);
+    put_str(out, content);
+  }
+  return out;
+}
+
+Request decode_request(std::string_view payload) {
+  Cursor c{payload};
+  Request request;
+  request.op = c.str("op");
+  request.deadline_ms = c.u32("deadline_ms");
+  const std::uint32_t n_options = c.u32("option count");
+  for (std::uint32_t i = 0; i < n_options; ++i) {
+    std::string key = c.str("option key");
+    request.params.options[std::move(key)] = c.str("option value");
+  }
+  const std::uint32_t n_positional = c.u32("positional count");
+  for (std::uint32_t i = 0; i < n_positional; ++i)
+    request.params.positional.push_back(c.str("positional"));
+  const std::uint32_t n_inputs = c.u32("input count");
+  for (std::uint32_t i = 0; i < n_inputs; ++i) {
+    std::string role = c.str("input role");
+    request.inputs[std::move(role)] = c.str("input content");
+  }
+  c.finish();
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(response.exit_code));
+  put_str(out, response.out);
+  put_str(out, response.err);
+  put_u32(out, static_cast<std::uint32_t>(response.files.size()));
+  for (const auto& f : response.files) {
+    put_str(out, f.path);
+    put_str(out, f.content);
+  }
+  put_str(out, response.diag_json);
+  put_str(out, response.report_json);
+  return out;
+}
+
+Response decode_response(std::string_view payload) {
+  Cursor c{payload};
+  Response response;
+  response.exit_code = static_cast<int>(c.u32("exit_code"));
+  response.out = c.str("out");
+  response.err = c.str("err");
+  const std::uint32_t n_files = c.u32("file count");
+  for (std::uint32_t i = 0; i < n_files; ++i) {
+    ResponseFile f;
+    f.path = c.str("file path");
+    f.content = c.str("file content");
+    response.files.push_back(std::move(f));
+  }
+  response.diag_json = c.str("diag_json");
+  response.report_json = c.str("report_json");
+  c.finish();
+  return response;
+}
+
+}  // namespace lv::svc

@@ -1,0 +1,83 @@
+// lvrpc/1 — the length-prefixed binary wire protocol of `lvtool serve`.
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//   0       4     magic "LVF1"
+//   4       4     protocol version (u32 LE, currently 1)
+//   8       4     frame kind (u32 LE, FrameKind)
+//   12      4     payload length (u32 LE, bounded by the server cap)
+//   16      8     request id (u64 LE, echoed verbatim in the response)
+//   24      len   payload
+//
+// Request payloads are a bounds-checked binary encoding of svc::Request
+// (length-prefixed strings throughout, XDR-style); response payloads
+// encode svc::Response, whose diag/report fields carry the existing
+// lv-diag/1 and lv-run-report/1 JSON documents. docs/FORMATS.md has the
+// full layout.
+//
+// The decoder is the hostile-input boundary of the server: truncated,
+// oversized, or garbage bytes must yield a coded error (svc.frame /
+// svc.version / svc.oversize / svc.payload), never a crash or an
+// allocation proportional to an attacker-chosen length field. A fuzz
+// target (fuzz/fuzz_frame.cpp) and svc_protocol_test pin that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svc/request.hpp"
+
+namespace lv::svc {
+
+inline constexpr char kMagic[4] = {'L', 'V', 'F', '1'};
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::uint32_t kDefaultMaxPayload = 16u << 20;  // 16 MiB
+
+enum class FrameKind : std::uint32_t {
+  hello = 1,        // client -> server, payload = client banner text
+  hello_ok = 2,     // server -> client, payload = server banner text
+  request = 3,      // client -> server, payload = encoded Request
+  response = 4,     // server -> client, payload = encoded Response
+  error = 5,        // either way, payload = "code: message" text
+  shutdown = 6,     // client -> server, graceful stop
+  shutdown_ok = 7,  // server -> client, sent once drained
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::error;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+std::string encode_frame(FrameKind kind, std::uint64_t request_id,
+                         std::string_view payload);
+
+// Incremental decode over a byte buffer (a socket read accumulator).
+struct FrameDecode {
+  enum class Status {
+    ok,         // `frame` valid, `consumed` bytes eaten from the buffer
+    need_more,  // not enough bytes yet — read more and retry
+    bad,        // unrecoverable framing violation — `code`/`message` say why
+  };
+  Status status = Status::need_more;
+  Frame frame;
+  std::size_t consumed = 0;
+  std::string code;     // svc.frame / svc.version / svc.oversize
+  std::string message;
+};
+
+FrameDecode decode_frame(std::string_view bytes,
+                         std::uint32_t max_payload = kDefaultMaxPayload);
+
+// Payload codecs. Decoders throw check::InputError (code svc.payload)
+// on malformed bytes; they never read past the payload and reject
+// trailing garbage.
+std::string encode_request(const Request& request);
+Request decode_request(std::string_view payload);
+std::string encode_response(const Response& response);
+Response decode_response(std::string_view payload);
+
+}  // namespace lv::svc

@@ -1,0 +1,78 @@
+// The typed request/response pair at the heart of the lv::svc layer.
+//
+// A Request names one operation (the old lvtool subcommand vocabulary),
+// carries its Params, and — in server mode — the *content* of any input
+// files inline under stable role names ("netlist", "tech", "activity",
+// "file"), so the server never needs the client's filesystem. A Response
+// is everything a front-end needs to materialize the result: exact
+// stdout/stderr bytes, the exit code, produced file artifacts (written
+// to disk by the CLI adapter and `lvtool client`, shipped inline by the
+// server), and the structured lv-diag/1 / lv-run-report/1 documents.
+//
+// Handlers never touch a file descriptor or stdout: they build the
+// Response and the front-end decides where the bytes land. That single
+// rule is what makes the CLI and the binary-protocol server share one
+// handler path with byte-identical output.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "svc/params.hpp"
+
+namespace lv::svc {
+
+struct Request {
+  std::string op;       // operation name, e.g. "power"
+  Params params;
+  // role -> inline file content. Populated by `lvtool client` (which
+  // reads the files next to the user); empty for the local CLI, whose
+  // handlers fall back to reading the paths in `params`.
+  std::map<std::string, std::string> inputs;
+  // Wall-clock budget in ms, measured from enqueue on the server; 0 =
+  // none. A request still queued when it expires is rejected with
+  // svc.deadline instead of running late.
+  std::uint32_t deadline_ms = 0;
+};
+
+struct ResponseFile {
+  std::string path;     // destination path as the user named it
+  std::string content;
+};
+
+struct Response {
+  int exit_code = 0;
+  std::string out;      // exact stdout bytes
+  std::string err;      // exact stderr bytes ("" when clean)
+  std::vector<ResponseFile> files;
+  std::string diag_json;    // lv-diag/1 document, "" when no diagnostic
+  std::string report_json;  // lv-run-report/1 document when stats requested
+};
+
+// printf into a growing string — the handler-side replacement for the
+// printf calls the subcommands used when they owned stdout. Identical
+// format strings produce identical bytes.
+inline void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+inline void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list measure;
+  va_copy(measure, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (n > 0) {
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data() + old, static_cast<std::size_t>(n) + 1, fmt,
+                   args);
+    out.resize(old + static_cast<std::size_t>(n));
+  }
+  va_end(args);
+}
+
+}  // namespace lv::svc

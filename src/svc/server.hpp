@@ -1,0 +1,44 @@
+// `lvtool serve` — the long-lived request server over lvrpc/1.
+//
+// Threading model:
+//   - the serving thread owns the listener and accepts connections
+//     (poll on the listen fd + a self-pipe for signals/shutdown);
+//   - one reader thread per connection decodes frames and enqueues
+//     requests into one bounded queue (full queue -> immediate coded
+//     rejection response, never a stall);
+//   - the svc workers ARE the lv::exec pool: a dispatcher thread enters
+//     ThreadPool::run(workers, drain-loop), so requests execute on pool
+//     workers and any parallel primitive a handler touches degrades to
+//     its serial inline path. Cross-request concurrency replaces
+//     intra-request fan-out — the right throughput trade for a server.
+//
+// Sessions are per connection: the hello exchange creates one, and its
+// content-hash cache (svc/session.hpp) makes repeated requests over the
+// same design skip ingest/compile (obs: svc.cache_hits).
+//
+// Shutdown: a client `shutdown` frame or SIGINT/SIGTERM stops accepting,
+// drains every queued request, answers the initiator with shutdown_ok,
+// then closes all connections and joins every thread — clean under
+// tsan/asan by construction (no detached threads).
+#pragma once
+
+#include <cstdint>
+
+#include "svc/protocol.hpp"
+#include "svc/socket.hpp"
+
+namespace lv::svc {
+
+struct ServerOptions {
+  Endpoint endpoint;
+  std::size_t workers = 0;  // 0 = lv::exec::thread_count()
+  std::size_t queue_capacity = 128;
+  std::uint32_t max_payload = kDefaultMaxPayload;
+};
+
+// Blocks until shutdown; returns the process exit code. Throws
+// check::InputError for unusable options (bad endpoint), svc.io for
+// socket setup failures.
+int serve(const ServerOptions& options);
+
+}  // namespace lv::svc

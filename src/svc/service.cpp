@@ -1,0 +1,68 @@
+#include "svc/service.hpp"
+
+#include <exception>
+
+#include "check/codes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+
+namespace lv::svc {
+
+void attach_run_report(Response& response, const Request& request) {
+  const bool stats_text = request.params.flag("--stats");
+  const auto stats_json = request.params.text("--stats-json");
+  if (!stats_text && !stats_json) return;
+  const obs::RunReport report = obs::Registry::global().report();
+  response.report_json = report.to_json();
+  if (stats_text) response.out += report.to_text();
+  if (stats_json) response.files.push_back({*stats_json, response.report_json});
+}
+
+Response input_error_response(const std::string& op,
+                              const check::InputError& error) {
+  Response r;
+  r.exit_code = 2;
+  r.err = "lvtool " + op + ": " + error.diag().to_string() + "\n";
+  check::DiagSink sink;
+  sink.report(error.diag());
+  r.diag_json = sink.to_json();
+  return r;
+}
+
+Response run_request(ServiceContext& ctx, const Request& request) {
+  // Run metrics: collection is compiled in but a no-op until a stats
+  // sink is requested, so plain runs pay one predicted branch per
+  // site. Enabled before the first counter touch so svc.requests counts
+  // the request that asked for stats. In server mode the registry is
+  // process-wide, so one stats-requesting client turns collection on for
+  // the server's lifetime and reports are cumulative across requests.
+  if (request.params.flag("--stats") || request.params.text("--stats-json"))
+    obs::set_enabled(true);
+  static auto& requests = obs::Registry::global().counter("svc.requests");
+  requests.add(1);
+  try {
+    const OpSpec* spec = find_op(request.op);
+    if (spec == nullptr)
+      throw check::InputError(check::codes::svc_op,
+                              "unknown operation '" + request.op + "'");
+    Response r;
+    {
+      obs::ScopedTimer whole_command{
+          obs::Registry::global().timer("lvtool.command")};
+      r = spec->fn(ctx, request);
+    }
+    attach_run_report(r, request);
+    return r;
+  } catch (const check::InputError& e) {
+    // Bad input (malformed file, unparseable option, missing path):
+    // coded diagnostic, exit 2 — distinct from internal errors below.
+    return input_error_response(request.op, e);
+  } catch (const std::exception& e) {
+    Response r;
+    r.exit_code = 1;
+    r.err = "lvtool " + request.op + ": internal error: " + e.what() + "\n";
+    return r;
+  }
+}
+
+}  // namespace lv::svc

@@ -1,0 +1,84 @@
+#include "svc/session.hpp"
+
+#include "check/ingest.hpp"
+#include "obs/metrics.hpp"
+
+namespace lv::svc {
+
+namespace {
+
+// Cache traffic depends on request interleaving across workers (a racing
+// double-parse counts two misses), so these are scheduling counters.
+lv::obs::Counter& cache_hits() {
+  static auto& c = lv::obs::Registry::global().counter(
+      "svc.cache_hits", lv::obs::Stability::scheduling);
+  return c;
+}
+lv::obs::Counter& cache_misses() {
+  static auto& c = lv::obs::Registry::global().counter(
+      "svc.cache_misses", lv::obs::Stability::scheduling);
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t content_hash(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::shared_ptr<const sim::SimGraph> Session::Design::graph() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  if (graph_ == nullptr)
+    graph_ = std::make_shared<const sim::SimGraph>(netlist_);
+  return graph_;
+}
+
+std::shared_ptr<const Session::Design> Session::netlist(
+    const std::string& text, const std::string& origin) {
+  const std::uint64_t key = content_hash(text);
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    if (const auto it = designs_.find(key); it != designs_.end())
+      for (const auto& entry : it->second)
+        if (entry.text == text) {
+          cache_hits().add(1);
+          return entry.value;
+        }
+  }
+  // Parse outside the lock: ingest is the expensive part, and holding
+  // the session mutex across it would serialize every worker on one
+  // slow upload.
+  cache_misses().add(1);
+  auto design = std::make_shared<const Design>(
+      check::require_netlist(text, origin));
+  std::lock_guard<std::mutex> lock{mu_};
+  designs_[key].push_back({text, design});
+  return design;
+}
+
+std::shared_ptr<const tech::Process> Session::tech(
+    const std::string& text, const std::string& origin) {
+  const std::uint64_t key = content_hash(text);
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    if (const auto it = processes_.find(key); it != processes_.end())
+      for (const auto& entry : it->second)
+        if (entry.text == text) {
+          cache_hits().add(1);
+          return entry.value;
+        }
+  }
+  cache_misses().add(1);
+  auto process = std::make_shared<const tech::Process>(
+      check::require_techfile(text, origin));
+  std::lock_guard<std::mutex> lock{mu_};
+  processes_[key].push_back({text, process});
+  return process;
+}
+
+}  // namespace lv::svc

@@ -1,0 +1,78 @@
+// Per-session cached parse/compile state.
+//
+// Power-exploration traffic is iterative: many requests against the same
+// netlist/tech baseline, varying only operating points. A Session keys
+// parsed netlists (plus their lazily compiled sim::SimGraph) and parsed
+// processes by a 64-bit content hash, so the second request over the
+// same bytes skips ingest and graph compilation entirely. Hash matches
+// are verified against the stored text before reuse — a collision can
+// cost a reparse, never a wrong answer.
+//
+// One Session per protocol connection (the server), one per process (the
+// CLI). Thread-safe: a session's requests may run on several svc workers
+// concurrently; a racing double-parse is allowed (last insert wins) and
+// only shows up in the svc.cache_* scheduling counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "sim/sim_graph.hpp"
+#include "tech/techfile.hpp"
+
+namespace lv::svc {
+
+// FNV-1a, the cache key for inline payloads.
+std::uint64_t content_hash(std::string_view text);
+
+class Session {
+ public:
+  // A parsed netlist plus its compiled simulation graph. The graph is
+  // built on first use and shared by every simulator the session runs
+  // over this design afterwards.
+  class Design {
+   public:
+    explicit Design(circuit::Netlist nl) : netlist_(std::move(nl)) {}
+    const circuit::Netlist& netlist() const { return netlist_; }
+    // Lazily compiles (once) and returns the shared SimGraph. The graph
+    // references netlist(), which this Design keeps alive.
+    std::shared_ptr<const sim::SimGraph> graph() const;
+
+   private:
+    circuit::Netlist netlist_;
+    mutable std::mutex mu_;
+    mutable std::shared_ptr<const sim::SimGraph> graph_;
+  };
+
+  explicit Session(std::uint64_t id) : id_(id) {}
+
+  std::uint64_t id() const { return id_; }
+
+  // Parse-or-reuse. `origin` labels diagnostics (the user-visible file
+  // name); parse errors throw InputError exactly like the direct
+  // require_* boundary.
+  std::shared_ptr<const Design> netlist(const std::string& text,
+                                        const std::string& origin);
+  std::shared_ptr<const tech::Process> tech(const std::string& text,
+                                            const std::string& origin);
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string text;
+    std::shared_ptr<const T> value;
+  };
+
+  std::uint64_t id_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Entry<Design>>> designs_;
+  std::unordered_map<std::uint64_t, std::vector<Entry<tech::Process>>>
+      processes_;
+};
+
+}  // namespace lv::svc

@@ -1,0 +1,160 @@
+#include "svc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "check/codes.hpp"
+#include "check/diag.hpp"
+
+namespace lv::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw check::InputError(check::codes::svc_io,
+                          what + ": " + std::strerror(errno));
+}
+
+int make_unix(const std::string& path, sockaddr_un& addr) {
+  if (path.size() >= sizeof addr.sun_path)
+    throw check::InputError(check::codes::cli_option,
+                            "socket path too long (max " +
+                                std::to_string(sizeof addr.sun_path - 1) +
+                                " bytes): " + path);
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_UNIX)");
+  return fd;
+}
+
+int make_tcp(int port, sockaddr_in& addr) {
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket(AF_INET)");
+  return fd;
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (!path.empty()) return "unix:" + path;
+  return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+int listen_on(const Endpoint& ep, int backlog) {
+  if (!ep.path.empty()) {
+    sockaddr_un addr;
+    const int fd = make_unix(ep.path, addr);
+    ::unlink(ep.path.c_str());  // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      fail("bind(" + ep.path + ")");
+    }
+    if (::listen(fd, backlog) != 0) {
+      ::close(fd);
+      fail("listen(" + ep.path + ")");
+    }
+    return fd;
+  }
+  sockaddr_in addr;
+  const int fd = make_tcp(ep.port, addr);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    fail("bind(port " + std::to_string(ep.port) + ")");
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    fail("listen(port " + std::to_string(ep.port) + ")");
+  }
+  return fd;
+}
+
+int connect_to(const Endpoint& ep) {
+  if (!ep.path.empty()) {
+    sockaddr_un addr;
+    const int fd = make_unix(ep.path, addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      fail("connect(" + ep.path + ")");
+    }
+    return fd;
+  }
+  sockaddr_in addr;
+  const int fd = make_tcp(ep.port, addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    fail("connect(port " + std::to_string(ep.port) + ")");
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a return value, not
+    // kill the server with SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+FrameReader::Result FrameReader::next(int fd, std::uint32_t max_payload) {
+  Result result;
+  for (;;) {
+    const FrameDecode d = decode_frame(buf_, max_payload);
+    if (d.status == FrameDecode::Status::ok) {
+      result.kind = Result::Kind::frame;
+      result.frame = d.frame;
+      buf_.erase(0, d.consumed);
+      return result;
+    }
+    if (d.status == FrameDecode::Status::bad) {
+      result.kind = Result::Kind::bad;
+      result.code = d.code;
+      result.message = d.message;
+      return result;
+    }
+    char chunk[65536];
+    ssize_t n;
+    do {
+      n = ::recv(fd, chunk, sizeof chunk, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      result.kind = Result::Kind::bad;
+      result.code = check::codes::svc_io;
+      result.message = std::strerror(errno);
+      return result;
+    }
+    if (n == 0) {
+      if (buf_.empty()) {
+        result.kind = Result::Kind::eof;
+      } else {
+        result.kind = Result::Kind::bad;
+        result.code = check::codes::svc_truncated;
+        result.message = "stream ended mid-frame (" +
+                         std::to_string(buf_.size()) + " buffered bytes)";
+      }
+      return result;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace lv::svc

@@ -1,0 +1,56 @@
+// Minimal POSIX socket transport shared by the server and the client:
+// endpoint parsing (unix-domain path or loopback TCP port), listen /
+// connect, full-buffer sends, and an incremental frame reader that turns
+// a byte stream into lvrpc/1 frames via svc::decode_frame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svc/protocol.hpp"
+
+namespace lv::svc {
+
+// Where a server lives: a unix-domain socket path (preferred — no port
+// clashes, filesystem permissions) or a loopback TCP port.
+struct Endpoint {
+  std::string path;  // AF_UNIX when non-empty
+  int port = 0;      // AF_INET 127.0.0.1:port when path is empty
+
+  std::string to_string() const;
+};
+
+// Both throw check::InputError(svc.io) on failure. listen_on unlinks a
+// stale unix socket path before binding.
+int listen_on(const Endpoint& ep, int backlog = 128);
+int connect_to(const Endpoint& ep);
+
+// Writes the whole buffer (retrying short writes / EINTR, SIGPIPE
+// suppressed); returns false when the peer is gone.
+bool send_all(int fd, std::string_view bytes);
+
+// Accumulates socket reads and yields decoded frames. One instance per
+// connection; not thread-safe (each connection has one reader).
+class FrameReader {
+ public:
+  struct Result {
+    enum class Kind {
+      frame,  // one complete, valid frame
+      eof,    // clean end of stream (no buffered partial frame)
+      bad,    // framing violation or mid-frame EOF; code/message say why
+    };
+    Kind kind = Kind::eof;
+    Frame frame;
+    std::string code;
+    std::string message;
+  };
+
+  // Blocks until a full frame, EOF, or a violation.
+  Result next(int fd, std::uint32_t max_payload = kDefaultMaxPayload);
+
+ private:
+  std::string buf_;
+};
+
+}  // namespace lv::svc

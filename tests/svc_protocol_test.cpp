@@ -1,0 +1,213 @@
+// lvrpc/1 codec contract: framing round-trips, hostile-input rejection
+// (truncated / oversized / garbage -> coded error, never a crash or an
+// attacker-sized allocation), and payload codec round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "check/codes.hpp"
+#include "check/diag.hpp"
+#include "svc/protocol.hpp"
+#include "util/random.hpp"
+
+namespace svc = lv::svc;
+namespace chk = lv::check;
+
+namespace {
+
+svc::Request sample_request() {
+  svc::Request r;
+  r.op = "power";
+  r.params.positional = {"adder.lvnet", "soi_low_vt"};
+  r.params.options = {{"--vdd", "1.1"}, {"--stats", ""}};
+  r.inputs["netlist"] = "# netlist bytes\nand2 g0 a b y\n";
+  r.deadline_ms = 2500;
+  return r;
+}
+
+}  // namespace
+
+TEST(SvcProtocol, FrameRoundTrip) {
+  const std::string payload = "hello lvrpc";
+  const std::string bytes =
+      svc::encode_frame(svc::FrameKind::request, 0xdeadbeefcafe1234ull, payload);
+  ASSERT_EQ(bytes.size(), svc::kHeaderSize + payload.size());
+
+  const svc::FrameDecode d = svc::decode_frame(bytes);
+  ASSERT_EQ(d.status, svc::FrameDecode::Status::ok);
+  EXPECT_EQ(d.frame.kind, svc::FrameKind::request);
+  EXPECT_EQ(d.frame.request_id, 0xdeadbeefcafe1234ull);
+  EXPECT_EQ(d.frame.payload, payload);
+  EXPECT_EQ(d.consumed, bytes.size());
+}
+
+TEST(SvcProtocol, EmptyPayloadAndBackToBackFrames) {
+  const std::string a = svc::encode_frame(svc::FrameKind::shutdown, 7, "");
+  const std::string b = svc::encode_frame(svc::FrameKind::hello, 8, "x");
+  const std::string stream = a + b;
+
+  svc::FrameDecode d1 = svc::decode_frame(stream);
+  ASSERT_EQ(d1.status, svc::FrameDecode::Status::ok);
+  EXPECT_EQ(d1.frame.kind, svc::FrameKind::shutdown);
+  EXPECT_EQ(d1.frame.payload, "");
+
+  svc::FrameDecode d2 =
+      svc::decode_frame(std::string_view(stream).substr(d1.consumed));
+  ASSERT_EQ(d2.status, svc::FrameDecode::Status::ok);
+  EXPECT_EQ(d2.frame.kind, svc::FrameKind::hello);
+  EXPECT_EQ(d2.frame.request_id, 8u);
+  EXPECT_EQ(d2.frame.payload, "x");
+}
+
+TEST(SvcProtocol, TruncationNeedsMoreAtEveryPrefix) {
+  const std::string bytes =
+      svc::encode_frame(svc::FrameKind::response, 42, "payload-bytes");
+  // Every strict prefix is an incomplete frame, never ok and never bad.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const svc::FrameDecode d =
+        svc::decode_frame(std::string_view(bytes).substr(0, n));
+    EXPECT_EQ(d.status, svc::FrameDecode::Status::need_more) << "prefix " << n;
+  }
+}
+
+TEST(SvcProtocol, BadMagicIsCodedError) {
+  std::string bytes = svc::encode_frame(svc::FrameKind::hello, 1, "");
+  bytes[0] = 'X';
+  const svc::FrameDecode d = svc::decode_frame(bytes);
+  ASSERT_EQ(d.status, svc::FrameDecode::Status::bad);
+  EXPECT_EQ(d.code, chk::codes::svc_frame);
+}
+
+TEST(SvcProtocol, VersionMismatchIsCodedError) {
+  std::string bytes = svc::encode_frame(svc::FrameKind::hello, 1, "");
+  bytes[4] = 99;  // version u32 LE low byte
+  const svc::FrameDecode d = svc::decode_frame(bytes);
+  ASSERT_EQ(d.status, svc::FrameDecode::Status::bad);
+  EXPECT_EQ(d.code, chk::codes::svc_version);
+}
+
+TEST(SvcProtocol, UnknownKindIsCodedError) {
+  std::string bytes = svc::encode_frame(svc::FrameKind::hello, 1, "");
+  bytes[8] = 0x7f;  // kind u32 LE low byte -> no such FrameKind
+  const svc::FrameDecode d = svc::decode_frame(bytes);
+  ASSERT_EQ(d.status, svc::FrameDecode::Status::bad);
+  EXPECT_EQ(d.code, chk::codes::svc_frame);
+}
+
+TEST(SvcProtocol, OversizedLengthRejectedWithoutAllocation) {
+  // A length field far beyond the cap must be rejected from the header
+  // alone — reaching need_more would let an attacker hold 4 GiB hostage.
+  std::string bytes = svc::encode_frame(svc::FrameKind::request, 1, "");
+  bytes[12] = static_cast<char>(0xff);
+  bytes[13] = static_cast<char>(0xff);
+  bytes[14] = static_cast<char>(0xff);
+  bytes[15] = static_cast<char>(0x7f);
+  const svc::FrameDecode d = svc::decode_frame(bytes, /*max_payload=*/4096);
+  ASSERT_EQ(d.status, svc::FrameDecode::Status::bad);
+  EXPECT_EQ(d.code, chk::codes::svc_oversize);
+}
+
+TEST(SvcProtocol, PayloadAtCapIsAccepted) {
+  const std::string payload(4096, 'a');
+  const std::string bytes =
+      svc::encode_frame(svc::FrameKind::request, 1, payload);
+  const svc::FrameDecode d = svc::decode_frame(bytes, /*max_payload=*/4096);
+  ASSERT_EQ(d.status, svc::FrameDecode::Status::ok);
+  EXPECT_EQ(d.frame.payload.size(), 4096u);
+}
+
+TEST(SvcProtocol, RequestRoundTrip) {
+  const svc::Request r = sample_request();
+  const svc::Request back = svc::decode_request(svc::encode_request(r));
+  EXPECT_EQ(back.op, r.op);
+  EXPECT_EQ(back.params.positional, r.params.positional);
+  EXPECT_EQ(back.params.options, r.params.options);
+  EXPECT_EQ(back.inputs, r.inputs);
+  EXPECT_EQ(back.deadline_ms, r.deadline_ms);
+}
+
+TEST(SvcProtocol, ResponseRoundTrip) {
+  svc::Response r;
+  r.exit_code = 2;
+  r.out = "stdout bytes\n";
+  r.err = "stderr bytes\n";
+  r.files.push_back({"out.lvnet", "netlist body\n"});
+  r.files.push_back({"report.json", "{}"});
+  r.diag_json = "{\"format\":\"lv-diag/1\"}";
+  r.report_json = "{\"format\":\"lv-run-report/1\"}";
+  const svc::Response back = svc::decode_response(svc::encode_response(r));
+  EXPECT_EQ(back.exit_code, r.exit_code);
+  EXPECT_EQ(back.out, r.out);
+  EXPECT_EQ(back.err, r.err);
+  ASSERT_EQ(back.files.size(), 2u);
+  EXPECT_EQ(back.files[0].path, "out.lvnet");
+  EXPECT_EQ(back.files[0].content, "netlist body\n");
+  EXPECT_EQ(back.files[1].path, "report.json");
+  EXPECT_EQ(back.diag_json, r.diag_json);
+  EXPECT_EQ(back.report_json, r.report_json);
+}
+
+TEST(SvcProtocol, RequestDecoderRejectsTruncatedPayload) {
+  const std::string payload = svc::encode_request(sample_request());
+  // Chopping anywhere inside must throw svc.payload, not read past the
+  // end or accept a partial decode.
+  for (std::size_t n = 0; n < payload.size(); n += 3) {
+    try {
+      svc::decode_request(std::string_view(payload).substr(0, n));
+      FAIL() << "accepted truncated payload of " << n << " bytes";
+    } catch (const chk::InputError& e) {
+      EXPECT_EQ(e.diag().code, chk::codes::svc_payload) << "prefix " << n;
+    }
+  }
+}
+
+TEST(SvcProtocol, RequestDecoderRejectsTrailingGarbage) {
+  const std::string payload = svc::encode_request(sample_request()) + "x";
+  EXPECT_THROW(svc::decode_request(payload), chk::InputError);
+}
+
+TEST(SvcProtocol, RequestDecoderRejectsLyingLengthPrefix) {
+  // An inner string length claiming more bytes than the payload holds
+  // must be rejected before any allocation of that size.
+  std::string payload = svc::encode_request(sample_request());
+  payload[0] = static_cast<char>(0xff);
+  payload[1] = static_cast<char>(0xff);
+  payload[2] = static_cast<char>(0xff);
+  payload[3] = static_cast<char>(0xff);
+  EXPECT_THROW(svc::decode_request(payload), chk::InputError);
+}
+
+TEST(SvcProtocol, DecoderSurvivesDeterministicFuzz) {
+  // Mini-fuzz: random bytes, random mutations of valid frames, random
+  // truncations. The decoders must classify every input without
+  // crashing; this is the in-tree shadow of fuzz/fuzz_frame.cpp.
+  lv::util::Xoshiro256 rng{0x5eedf00du};
+  const std::string valid = svc::encode_frame(
+      svc::FrameKind::request, 77, svc::encode_request(sample_request()));
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string bytes;
+    const std::uint32_t mode = rng.next_u32() % 3;
+    if (mode == 0) {
+      bytes.resize(rng.next_u32() % 128);
+      for (char& c : bytes) c = static_cast<char>(rng.next_u32() & 0xff);
+    } else if (mode == 1) {
+      bytes = valid;
+      const std::size_t flips = 1 + rng.next_u32() % 8;
+      for (std::size_t f = 0; f < flips; ++f)
+        bytes[rng.next_u32() % bytes.size()] =
+            static_cast<char>(rng.next_u32() & 0xff);
+    } else {
+      bytes = valid.substr(0, rng.next_u32() % (valid.size() + 1));
+    }
+    const svc::FrameDecode d = svc::decode_frame(bytes, 1u << 20);
+    if (d.status == svc::FrameDecode::Status::ok &&
+        d.frame.kind == svc::FrameKind::request) {
+      try {
+        (void)svc::decode_request(d.frame.payload);
+      } catch (const chk::InputError&) {
+        // Coded rejection is a pass; anything else propagates and fails.
+      }
+    }
+  }
+}

@@ -16,10 +16,16 @@ be at least RATIO times benchmark FAST's. The bench-smoke job uses this to
 pin the bit-parallel kernel's advantage over the scalar one, so a
 regression in either kernel fails the build even though the job has no
 cross-run baseline.
+
+A missing baseline file is not an error: first runs on a fresh checkout
+have nothing to compare against, so the cross-run diff is skipped with a
+warning (exit 0). --require-speedup checks still run — they only need
+the candidate.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -56,30 +62,44 @@ def main():
     )
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cand = load(args.candidate)
-    shared = sorted(set(base) & set(cand))
-    if not shared:
-        print("bench_diff: no common benchmarks between the two files",
+    if not os.path.exists(args.candidate):
+        # The candidate is this run's own output — its absence means the
+        # bench run itself failed, which is a real error.
+        print(f"bench_diff: candidate '{args.candidate}' not found",
               file=sys.stderr)
         return 2
-
-    width = max(len(n) for n in shared)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
-          f"{'ratio':>7}")
+    cand = load(args.candidate)
     regressions = []
-    for name in shared:
-        (t0, unit), (t1, _) = base[name], cand[name]
-        ratio = t1 / t0 if t0 > 0 else float("inf")
-        print(f"{name:<{width}}  {t0:>10.0f} {unit}  {t1:>10.0f} {unit}  "
-              f"{ratio:>6.2f}x")
-        if args.threshold is not None and ratio > 1.0 + args.threshold / 100.0:
-            regressions.append((name, ratio))
+    if not os.path.exists(args.baseline):
+        # First run on a fresh checkout / CI cache miss: nothing to diff
+        # against. Warn rather than fail so the job that *produces* the
+        # first baseline doesn't need a special case.
+        print(f"bench_diff: warning: baseline '{args.baseline}' not found; "
+              f"skipping cross-run comparison", file=sys.stderr)
+    else:
+        base = load(args.baseline)
+        shared = sorted(set(base) & set(cand))
+        if not shared:
+            print("bench_diff: no common benchmarks between the two files",
+                  file=sys.stderr)
+            return 2
 
-    for name in sorted(set(base) - set(cand)):
-        print(f"only in baseline:  {name}")
-    for name in sorted(set(cand) - set(base)):
-        print(f"only in candidate: {name}")
+        width = max(len(n) for n in shared)
+        print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  "
+              f"{'ratio':>7}")
+        for name in shared:
+            (t0, unit), (t1, _) = base[name], cand[name]
+            ratio = t1 / t0 if t0 > 0 else float("inf")
+            print(f"{name:<{width}}  {t0:>10.0f} {unit}  {t1:>10.0f} {unit}  "
+                  f"{ratio:>6.2f}x")
+            if (args.threshold is not None
+                    and ratio > 1.0 + args.threshold / 100.0):
+                regressions.append((name, ratio))
+
+        for name in sorted(set(base) - set(cand)):
+            print(f"only in baseline:  {name}")
+        for name in sorted(set(cand) - set(base)):
+            print(f"only in candidate: {name}")
 
     unmet = []
     for spec in args.require_speedup:

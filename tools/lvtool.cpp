@@ -1,118 +1,43 @@
 // lvtool — command-line front end to the lvsim libraries.
 //
-//   lvtool gen <rca|cla|csel|ks|mul|shifter|alu> <width> -o <file>
-//   lvtool stats <netlist>
-//   lvtool simulate <netlist> [--vectors N] [--seed S]
-//                   [--activity-out <file>] [--vcd-out <file>]
-//   lvtool power <netlist> <tech> [--vdd V] [--fclk HZ]
-//                (--alpha A | --activity <file>)
-//   lvtool timing <netlist> <tech> [--vdd V]
-//   lvtool dualvt <netlist> <tech> [--vdd V] [--margin M]
-//   lvtool optimize-vt <tech> [--fclk HZ] [--activity A]
-//   lvtool profile <espresso|li|idea|fir|crc32|sort> [--gap N] [--blocks N]
-//   lvtool techfile <tech>            # dump a predefined process
+// Since the lv::svc refactor this file is a thin adapter: every
+// subcommand is dispatched through the svc handler registry
+// (src/svc/handlers.cpp), which builds a Response the adapter
+// materializes — files first, then stdout bytes, then the exit code.
+// The same handlers sit behind `lvtool serve`, so CLI and server output
+// are byte-identical by construction; the golden CLI contract
+// (tools/golden_cli.cmake) pins the bytes against fixtures recorded from
+// the pre-refactor binary.
 //
-// <tech> is a predefined process name (bulk_cmos_06um, soi_low_vt, soias,
-// dual_vt_mtcmos, bulk_body_bias) or a path to a tech file.
+//   lvtool <subcommand> [args...]        one-shot, local
+//   lvtool serve  [--socket P | --port N] [--workers W] [--queue Q]
+//                 [--max-payload B] [--stats] [--stats-json f]
+//   lvtool client [--socket P | --port N] [--deadline-ms D] [--verbose]
+//                 (<subcommand> [args...] | --shutdown)
+//   lvtool version
+//
+// Run `lvtool help` for the full subcommand reference.
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
 #include <fstream>
-#include <map>
-#include <optional>
-#include <sstream>
 #include <string>
-#include <vector>
 
 #include "check/codes.hpp"
 #include "check/diag.hpp"
-#include "check/ingest.hpp"
-#include "check/parse.hpp"
-#include "circuit/generators.hpp"
-#include "circuit/netlist_io.hpp"
-#include "circuit/transforms.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
-#include "opt/dual_vt.hpp"
-#include "opt/gate_sizing.hpp"
-#include "opt/voltage_opt.hpp"
-#include "power/estimator.hpp"
-#include "power/glitch.hpp"
-#include "profile/profiler.hpp"
-#include "sim/activity_io.hpp"
-#include "sim/fault.hpp"
-#include "sim/stimulus.hpp"
-#include "sim/vcd.hpp"
-#include "tech/techfile.hpp"
-#include "timing/path_enum.hpp"
-#include "timing/sta.hpp"
-#include "util/error.hpp"
-#include "util/table.hpp"
-#include "workloads/idea.hpp"
-#include "workloads/kernels.hpp"
+#include "svc/client.hpp"
+#include "svc/handlers.hpp"
+#include "svc/params.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
 
 namespace {
 
-namespace c = lv::circuit;
 namespace chk = lv::check;
-namespace u = lv::util;
-
-// ---- option plumbing --------------------------------------------------
-
-struct Args {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> options;  // "--key value"
-
-  // Checked: `--vdd oops` is a coded input error (exit 2), not atof's
-  // silent 0.0.
-  double number(const std::string& key, double fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback
-                               : chk::require_double(it->second, key);
-  }
-  // Like number(), but for physical quantities (supplies, frequencies)
-  // that must be strictly positive: a non-positive value is the user's
-  // input error (exit 2), not a library precondition failure (exit 1).
-  double positive(const std::string& key, double fallback) const {
-    const double v = number(key, fallback);
-    if (!(v > 0.0))
-      throw chk::InputError(chk::codes::cli_number,
-                            key + " must be > 0, got " + std::to_string(v));
-    return v;
-  }
-  long long integer(const std::string& key, long long fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : chk::require_int(it->second, key);
-  }
-  std::optional<std::string> text(const std::string& key) const {
-    const auto it = options.find(key);
-    if (it == options.end()) return std::nullopt;
-    return it->second;
-  }
-};
-
-Args parse_args(int argc, char** argv, int first) {
-  Args args;
-  for (int i = first; i < argc; ++i) {
-    const std::string token = argv[i];
-    if (token == "--stats" || token == "--strict") {
-      // Boolean flags: no value token.
-      args.options[token] = "1";
-    } else if (token.rfind("--", 0) == 0 || token == "-o") {
-      if (i + 1 >= argc)
-        throw chk::InputError(chk::codes::cli_option,
-                              "option '" + token + "' needs a value");
-      args.options[token == "-o" ? "--out" : token] = argv[++i];
-    } else {
-      args.positional.push_back(token);
-    }
-  }
-  return args;
-}
-
-std::string read_file(const std::string& path) {
-  return chk::read_file(path);  // throws InputError(io.open) -> exit 2
-}
+namespace svc = lv::svc;
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out{path, std::ios::binary};
@@ -121,501 +46,82 @@ void write_file(const std::string& path, const std::string& content) {
                           "cannot write '" + path + "'", {path, 0});
 }
 
-lv::tech::Process load_tech(const std::string& name) {
-  if (name == "bulk_cmos_06um") return lv::tech::bulk_cmos_06um();
-  if (name == "soi_low_vt") return lv::tech::soi_low_vt();
-  if (name == "soias") return lv::tech::soias();
-  if (name == "dual_vt_mtcmos") return lv::tech::dual_vt_mtcmos();
-  if (name == "bulk_body_bias") return lv::tech::bulk_body_bias();
-  return chk::require_techfile(read_file(name), name);
-}
-
-c::Netlist load_netlist(const std::string& path) {
-  return chk::require_netlist(read_file(path), path);
-}
-
-// Random stimulus over all primary inputs; returns the simulator with
-// accumulated statistics.
-lv::sim::Simulator simulate_random(const c::Netlist& nl, std::size_t vectors,
-                                   std::uint64_t seed,
-                                   lv::sim::VcdRecorder* vcd = nullptr) {
-  lv::sim::Simulator sim{nl};
-  const c::Bus inputs = nl.primary_inputs();
-  u::require(!inputs.empty(), "netlist has no primary inputs");
-  u::require(inputs.size() <= 64, "more than 64 primary inputs");
-  sim.set_bus(inputs, 0);
-  if (!nl.sequential_instances().empty())
-    sim.reset_flops(c::Logic::zero);
-  sim.settle();
-  sim.clear_stats();
-  const auto vecs = lv::sim::random_vectors(
-      vectors, static_cast<int>(inputs.size()), seed);
-  const bool clocked = !nl.sequential_instances().empty();
-  for (const auto v : vecs) {
-    sim.set_bus(inputs, v);
-    if (clocked)
-      sim.clock_cycle();
-    else
-      sim.settle();
-    if (vcd != nullptr) vcd->sample();
-  }
-  return sim;
-}
-
-// ---- subcommands ------------------------------------------------------
-
-int cmd_gen(const Args& args) {
-  u::require(args.positional.size() == 2, "gen needs <kind> <width>");
-  const std::string kind = args.positional[0];
-  const int width =
-      static_cast<int>(chk::require_int(args.positional[1], "<width>"));
-  c::Netlist nl;
-  if (kind == "rca") c::build_ripple_carry_adder(nl, width);
-  else if (kind == "cla") c::build_carry_lookahead_adder(nl, width);
-  else if (kind == "csel") c::build_carry_select_adder(nl, width);
-  else if (kind == "ks") c::build_kogge_stone_adder(nl, width);
-  else if (kind == "mul") c::build_array_multiplier(nl, width);
-  else if (kind == "shifter") c::build_barrel_shifter(nl, width);
-  else if (kind == "alu") c::build_alu(nl, width);
-  else if (kind == "cskip") c::build_carry_skip_adder(nl, width);
-  else if (kind == "wmul") c::build_wallace_multiplier(nl, width);
-  else
+svc::Endpoint endpoint_from(const svc::Params& args) {
+  svc::Endpoint ep;
+  ep.path = args.text("--socket").value_or("");
+  ep.port = static_cast<int>(args.integer("--port", 0));
+  if (ep.path.empty() && ep.port == 0)
     throw chk::InputError(chk::codes::cli_option,
-                          "unknown generator '" + kind + "'");
-  const std::string text = c::to_netlist_text(nl);
-  if (const auto out = args.text("--out")) {
-    write_file(*out, text);
-    std::printf("wrote %zu gates to %s\n", nl.instance_count(),
-                out->c_str());
-  } else {
-    std::fputs(text.c_str(), stdout);
-  }
-  return 0;
-}
-
-int cmd_stats(const Args& args) {
-  u::require(args.positional.size() == 1, "stats needs <netlist>");
-  const auto nl = load_netlist(args.positional[0]);
-  std::printf("gates: %zu   nets: %zu   inputs: %zu   outputs: %zu   "
-              "flops: %zu\n",
-              nl.instance_count(), nl.net_count(),
-              nl.primary_inputs().size(), nl.primary_outputs().size(),
-              nl.sequential_instances().size());
-  int depth = 0;
-  for (const int l : nl.levelize()) depth = std::max(depth, l);
-  std::printf("logic depth: %d levels\n", depth);
-  u::Table table{{"cell", "count"}};
-  for (const auto& [kind, count] : nl.kind_histogram())
-    table.add_row({kind, static_cast<long long>(count)});
-  std::printf("%s", table.to_ascii().c_str());
-  const auto modules = nl.modules();
-  if (!modules.empty()) {
-    std::printf("modules:");
-    for (const auto& m : modules) std::printf(" %s", m.c_str());
-    std::printf("\n");
-  }
-  return 0;
-}
-
-int cmd_simulate(const Args& args) {
-  u::require(args.positional.size() == 1, "simulate needs <netlist>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto vectors = static_cast<std::size_t>(
-      args.number("--vectors", 1000));
-  const auto seed = static_cast<std::uint64_t>(args.number("--seed", 1));
-
-  const auto kernel = args.text("--kernel").value_or("scalar");
-  if (kernel != "scalar" && kernel != "word")
+                          "need --socket <path> or --port <n>");
+  if (!ep.path.empty() && ep.port != 0)
     throw chk::InputError(chk::codes::cli_option,
-                          "--kernel must be 'scalar' or 'word', got '" +
-                              kernel + "'");
-  const lv::sim::ActivityStats stats = [&] {
-    if (kernel == "word") {
-      // Bit-parallel replay: 64 vectors per settle through the
-      // lane-chunked workload runner, stats bit-identical to the scalar
-      // replay (see sim/stimulus.cpp).
-      u::require(nl.sequential_instances().empty(),
-                 "simulate: --kernel word needs a combinational netlist");
-      const c::Bus inputs = nl.primary_inputs();
-      u::require(!inputs.empty(), "netlist has no primary inputs");
-      u::require(inputs.size() <= 64, "more than 64 primary inputs");
-      lv::sim::BitParallelSimulator sim{nl};
-      sim.set_bus_broadcast(inputs, 0);
-      sim.settle();
-      sim.clear_stats();
-      const auto vecs = lv::sim::random_vectors(
-          vectors, static_cast<int>(inputs.size()), seed);
-      lv::sim::run_two_operand_workload(
-          sim, inputs, {}, vecs,
-          std::vector<std::uint64_t>(vecs.size(), 0));
-      return sim.stats();
-    }
-    return simulate_random(nl, vectors, seed).stats();
-  }();
-  std::printf("simulated %llu cycles (%s kernel); total transitions %llu; "
-              "mean alpha %.4f\n",
-              static_cast<unsigned long long>(stats.cycles()),
-              kernel.c_str(),
-              static_cast<unsigned long long>(stats.total_transitions()),
-              lv::sim::mean_alpha(nl, stats));
-  if (const auto out = args.text("--activity-out")) {
-    write_file(*out, lv::sim::to_activity_text(nl, stats));
-    std::printf("activity written to %s\n", out->c_str());
-  }
-  if (const auto out = args.text("--vcd-out")) {
-    // Re-run (capped at 256 vectors) with a recorder sampling each cycle.
-    lv::sim::Simulator rerun{nl};
-    lv::sim::VcdRecorder rec{rerun};
-    const c::Bus inputs = nl.primary_inputs();
-    rerun.set_bus(inputs, 0);
-    if (!nl.sequential_instances().empty())
-      rerun.reset_flops(c::Logic::zero);
-    rerun.settle();
-    for (const auto v : lv::sim::random_vectors(
-             std::min<std::size_t>(vectors, 256),
-             static_cast<int>(inputs.size()), seed)) {
-      rerun.set_bus(inputs, v);
-      if (!nl.sequential_instances().empty())
-        rerun.clock_cycle();
-      else
-        rerun.settle();
-      rec.sample();
-    }
-    write_file(*out, rec.render());
-    std::printf("vcd written to %s (%llu samples)\n", out->c_str(),
-                static_cast<unsigned long long>(rec.samples()));
-  }
-  return 0;
-}
-
-int cmd_power(const Args& args) {
-  u::require(args.positional.size() == 2, "power needs <netlist> <tech>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto tech = load_tech(args.positional[1]);
-  lv::power::OperatingPoint op;
-  op.vdd = args.positive("--vdd", tech.vdd_nominal);
-  op.f_clk = args.positive("--fclk", 50e6);
-  const lv::power::PowerEstimator est{nl, tech, op};
-
-  lv::power::PowerBreakdown br;
-  if (const auto file = args.text("--activity")) {
-    const auto stats = chk::require_activity(nl, read_file(*file), *file);
-    br = est.estimate(stats);
-  } else {
-    br = est.estimate_uniform(args.number("--alpha", 0.25));
-  }
-  u::Table table{{"component", "power_W"}};
-  table.set_double_format("%.4g");
-  table.add_row({std::string{"switching"}, br.switching});
-  table.add_row({std::string{"short_circuit"}, br.short_circuit});
-  table.add_row({std::string{"leakage"}, br.leakage});
-  table.add_row({std::string{"clock"}, br.clock});
-  table.add_row({std::string{"total"}, br.total()});
-  std::printf("%s", table.to_ascii().c_str());
-  std::printf("energy/cycle: %.4g J at %.3g Hz\n",
-              br.energy_per_cycle(op.f_clk), op.f_clk);
-  return 0;
-}
-
-int cmd_timing(const Args& args) {
-  u::require(args.positional.size() == 2, "timing needs <netlist> <tech>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto tech = load_tech(args.positional[1]);
-  const double vdd = args.positive("--vdd", tech.vdd_nominal);
-  const lv::timing::Sta sta{nl, tech, vdd};
-  const auto r = sta.run(1.0);
-  std::printf("critical delay: %.4g s (max clock %.4g Hz) at VDD = %.2f V\n",
-              r.critical_delay, 1.0 / r.critical_delay, vdd);
-  std::printf("critical path (%zu gates):", r.critical_path.size());
-  for (const auto i : r.critical_path)
-    std::printf(" %s", nl.instance(i).name.c_str());
-  std::printf("\n");
-  return 0;
-}
-
-int cmd_dualvt(const Args& args) {
-  u::require(args.positional.size() == 2, "dualvt needs <netlist> <tech>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto tech = load_tech(args.positional[1]);
-  const double vdd = args.positive("--vdd", tech.vdd_nominal);
-  const double margin = args.number("--margin", 0.05);
-  const auto r = lv::opt::assign_dual_vt(nl, tech, vdd, margin);
-  std::printf("%zu of %zu gates moved to high VT\n", r.high_vt_count,
-              nl.instance_count());
-  std::printf("delay:   %.4g s -> %.4g s (period budget %.4g s)\n",
-              r.delay_before, r.delay_after, r.clock_period);
-  std::printf("leakage: %.4g A -> %.4g A (%.1fx reduction)\n",
-              r.leakage_before, r.leakage_after,
-              r.leakage_before / r.leakage_after);
-  return 0;
-}
-
-int cmd_optimize_vt(const Args& args) {
-  u::require(args.positional.size() == 1, "optimize-vt needs <tech>");
-  const auto tech = load_tech(args.positional[0]);
-  const double f_clk = args.positive("--fclk", 5e6);
-  const double activity = args.number("--activity", 1.0);
-  const lv::timing::RingOscillator ring{101};
-  const auto r =
-      lv::opt::optimize_vt(tech, ring, f_clk, activity, 0.05, 0.55, 26);
-  if (!r.status.converged) {
-    std::printf("did not converge after %d evaluations: %s\n",
-                r.status.iterations, r.status.reason.c_str());
-    return 1;
-  }
-  std::printf("optimum at %.3g Hz, activity %.2f: VT = %.3f V, "
-              "VDD = %.3f V, E = %.4g J/cycle (switching %.4g, leakage "
-              "%.4g)\n",
-              f_clk, activity, r.optimum.vt, r.optimum.vdd,
-              r.optimum.total_energy, r.optimum.switching_energy,
-              r.optimum.leakage_energy);
-  return 0;
-}
-
-int cmd_profile(const Args& args) {
-  u::require(args.positional.size() == 1, "profile needs <workload>");
-  const std::string name = args.positional[0];
-  const auto gap = static_cast<std::uint64_t>(args.number("--gap", 0));
-  const int blocks = static_cast<int>(args.number("--blocks", 16));
-  lv::workloads::Workload workload;
-  if (name == "espresso") workload = lv::workloads::espresso_workload();
-  else if (name == "li") workload = lv::workloads::li_workload();
-  else if (name == "idea") workload = lv::workloads::idea_workload(blocks);
-  else if (name == "fir") workload = lv::workloads::fir_workload();
-  else if (name == "crc32") workload = lv::workloads::crc32_workload();
-  else if (name == "sort") workload = lv::workloads::sort_workload();
-  else if (name == "matmul") workload = lv::workloads::matmul_workload();
-  else if (name == "strsearch") workload = lv::workloads::strsearch_workload();
-  else
+                          "--socket and --port are mutually exclusive");
+  if (ep.port < 0 || ep.port > 65535)
     throw chk::InputError(chk::codes::cli_option,
-                          "unknown workload '" + name + "'");
-
-  lv::profile::ActivityProfiler profiler{lv::profile::UnitMap::standard(),
-                                         gap};
-  const auto result = lv::workloads::run_workload(workload, {&profiler});
-  std::printf("workload %s: %llu instructions, output %s\n",
-              workload.name.c_str(),
-              static_cast<unsigned long long>(result.instructions),
-              result.verified ? "verified" : "MISMATCH");
-  std::printf("%s", profiler.report().to_ascii().c_str());
-  return 0;
+                          "--port must be in [1, 65535]");
+  return ep;
 }
 
-int cmd_techfile(const Args& args) {
-  u::require(args.positional.size() == 1, "techfile needs <tech>");
-  std::fputs(lv::tech::to_techfile(load_tech(args.positional[0])).c_str(),
-             stdout);
-  return 0;
-}
-
-int cmd_glitch(const Args& args) {
-  u::require(args.positional.size() == 2, "glitch needs <netlist> <tech>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto tech = load_tech(args.positional[1]);
-  const auto vectors =
-      static_cast<std::size_t>(args.number("--vectors", 2000));
-  const auto sim = simulate_random(
-      nl, vectors, static_cast<std::uint64_t>(args.number("--seed", 1)));
-  lv::power::OperatingPoint op;
-  op.vdd = args.positive("--vdd", tech.vdd_nominal);
-  const auto report =
-      lv::power::analyze_glitch_power(nl, tech, op, sim.stats());
-  std::printf("functional power: %.4g W\n", report.functional_power);
-  std::printf("glitch power:     %.4g W (%.1f%% of switching)\n",
-              report.glitch_power, report.glitch_fraction * 100.0);
-  std::printf("worst net: %s (%.1f%% of all glitching)\n",
-              report.worst_net.c_str(), report.worst_net_share * 100.0);
-  for (const auto& [mod, frac] : report.module_glitch_fraction)
-    std::printf("  module '%s': %.1f%% glitch\n",
-                mod.empty() ? "<top>" : mod.c_str(), frac * 100.0);
-  return 0;
-}
-
-int cmd_faults(const Args& args) {
-  u::require(args.positional.size() == 1, "faults needs <netlist>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto vectors =
-      static_cast<std::size_t>(args.number("--vectors", 256));
-  const auto vecs = lv::sim::random_vectors(
-      vectors, static_cast<int>(nl.primary_inputs().size()),
-      static_cast<std::uint64_t>(args.number("--seed", 1)));
-  const auto kernel_name = args.text("--kernel").value_or("word");
-  if (kernel_name != "scalar" && kernel_name != "word")
+int cmd_serve(const svc::Params& args) {
+  svc::ServerOptions options;
+  options.endpoint = endpoint_from(args);
+  const long long workers = args.integer("--workers", 0);
+  if (workers < 0)
+    throw chk::InputError(chk::codes::cli_option, "--workers must be >= 0");
+  options.workers = static_cast<std::size_t>(workers);
+  const long long queue = args.integer("--queue", 128);
+  if (queue < 1)
+    throw chk::InputError(chk::codes::cli_option, "--queue must be >= 1");
+  options.queue_capacity = static_cast<std::size_t>(queue);
+  const long long payload =
+      args.integer("--max-payload", svc::kDefaultMaxPayload);
+  if (payload < static_cast<long long>(svc::kHeaderSize) ||
+      payload > (1ll << 31))
     throw chk::InputError(chk::codes::cli_option,
-                          "--kernel must be 'scalar' or 'word', got '" +
-                              kernel_name + "'");
-  const auto result = lv::sim::fault_coverage(
-      nl, vecs,
-      kernel_name == "word" ? lv::sim::FaultKernel::word
-                            : lv::sim::FaultKernel::scalar);
-  std::printf("stuck-at faults: %zu; detected %zu; coverage %.2f%% "
-              "(%s kernel)\n",
-              result.total_faults, result.detected,
-              result.coverage * 100.0, kernel_name.c_str());
-  if (result.detected > 0) {
-    // First-detection profile: how quickly the vector set earns its
-    // coverage (cumulative detections over result.first_detections).
-    std::size_t cum = 0, v50 = 0, v90 = 0, last = 0;
-    for (std::size_t i = 0; i < result.first_detections.size(); ++i) {
-      const auto d = result.first_detections[i];
-      if (d == 0) continue;
-      if (cum * 2 < result.detected && (cum + d) * 2 >= result.detected)
-        v50 = i;
-      if (cum * 10 < result.detected * 9 &&
-          (cum + d) * 10 >= result.detected * 9)
-        v90 = i;
-      cum += d;
-      last = i;
-    }
-    std::printf("first-detection profile: 50%% of detected faults by "
-                "vector %zu, 90%% by %zu, last new detection at %zu\n",
-                v50, v90, last);
-  }
-  std::size_t shown = 0;
-  for (const auto& f : result.undetected) {
-    if (shown++ >= 10) {
-      std::printf("  ... %zu more\n", result.undetected.size() - 10);
+                          "--max-payload out of range");
+  options.max_payload = static_cast<std::uint32_t>(payload);
+
+  const int rc = svc::serve(options);
+  // Server run report: cumulative across every request it served.
+  const lv::obs::RunReport report = lv::obs::Registry::global().report();
+  if (const auto stats_json = args.text("--stats-json"))
+    write_file(*stats_json, report.to_json());
+  if (args.flag("--stats")) std::fputs(report.to_text().c_str(), stdout);
+  return rc;
+}
+
+// client options end at the first token that is not one of ours; the
+// rest is the forwarded subcommand line, parsed by the server's op.
+int cmd_client(int argc, char** argv, int first) {
+  svc::ClientOptions options;
+  svc::Params mine;
+  int i = first;
+  for (; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token == "--shutdown") {
+      options.shutdown = true;
+    } else if (token == "--verbose") {
+      options.verbose = true;
+    } else if (token == "--socket" || token == "--port" ||
+               token == "--deadline-ms") {
+      if (i + 1 >= argc)
+        throw chk::InputError(chk::codes::cli_option,
+                              "option '" + token + "' needs a value");
+      mine.options[token] = argv[++i];
+    } else {
       break;
     }
-    std::printf("  undetected: %s stuck-at-%c\n",
-                nl.net(f.net).name.c_str(),
-                lv::circuit::to_char(f.stuck_at));
   }
-  return 0;
-}
-
-int cmd_paths(const Args& args) {
-  u::require(args.positional.size() == 2, "paths needs <netlist> <tech>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto tech = load_tech(args.positional[1]);
-  const double vdd = args.positive("--vdd", tech.vdd_nominal);
-  const int k = static_cast<int>(args.number("--k", 5));
-  const auto sta = lv::timing::Sta{nl, tech, vdd}.run(1.0);
-  const auto paths = lv::timing::enumerate_critical_paths(nl, sta, k);
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    std::printf("#%zu  %.4g s  (%zu gates):", i + 1, paths[i].arrival,
-                paths[i].instances.size());
-    for (const auto inst : paths[i].instances)
-      std::printf(" %s", nl.instance(inst).name.c_str());
-    std::printf("\n");
-  }
-  std::printf("arrival imbalance (glitch proxy): %.4g s total\n",
-              lv::timing::total_arrival_imbalance(nl, sta));
-  return 0;
-}
-
-int cmd_sizing(const Args& args) {
-  u::require(args.positional.size() == 2, "sizing needs <netlist> <tech>");
-  const auto nl = load_netlist(args.positional[0]);
-  const auto tech = load_tech(args.positional[1]);
-  const auto r = lv::opt::downsize_gates(
-      nl, tech, args.positive("--vdd", tech.vdd_nominal),
-      args.number("--margin", 0.05), args.number("--min-size", 0.5));
-  std::printf("%zu of %zu gates downsized\n", r.downsized,
-              nl.instance_count());
-  std::printf("cap:     %.4g F -> %.4g F (-%.1f%%)\n", r.cap_before,
-              r.cap_after, 100.0 * (1.0 - r.cap_after / r.cap_before));
-  std::printf("leakage: %.4g A -> %.4g A (-%.1f%%)\n", r.leakage_before,
-              r.leakage_after,
-              100.0 * (1.0 - r.leakage_after / r.leakage_before));
-  std::printf("delay:   %.4g s -> %.4g s (budget %.4g s)\n",
-              r.delay_before, r.delay_after, r.clock_period);
-  return 0;
-}
-
-int cmd_optimize(const Args& args) {
-  u::require(args.positional.size() == 1, "optimize needs <netlist>");
-  const auto nl = load_netlist(args.positional[0]);
-  c::TransformStats stats;
-  const auto opt = c::optimize_netlist(nl, &stats);
-  std::printf("%zu -> %zu gates (%zu constants folded, %zu dead removed)\n",
-              stats.gates_before, stats.gates_after, stats.constants_folded,
-              stats.dead_removed);
-  if (const auto out = args.text("--out"))
-    write_file(*out, c::to_netlist_text(opt));
-  return 0;
-}
-
-// lvtool check <file> [--kind netlist|tech|activity] [--netlist <file>]
-//              [--strict] [--diag-json <file>]
-//
-// Parses and deep-validates one input file, reporting *every* finding
-// (parsers stop at the first error; the validators do not). Exit 0 when
-// acceptable, 2 when not; --strict also fails on warnings. --diag-json
-// writes the lv-diag/1 report (schema in docs/FORMATS.md).
-int cmd_check(const Args& args) {
-  u::require(args.positional.size() == 1, "check needs <file>");
-  const std::string& path = args.positional[0];
-  const std::string text = read_file(path);
-
-  // Kind: explicit --kind wins; otherwise the version header (the first
-  // word of the first non-comment line) decides.
-  std::string kind = args.text("--kind").value_or("");
-  if (kind.empty()) {
-    std::istringstream lines{text};
-    std::string first_word;
-    for (std::string line; std::getline(lines, line);) {
-      const auto h = line.find('#');
-      if (h != std::string::npos) line.resize(h);
-      std::istringstream words{line};
-      if (words >> first_word) break;
-    }
-    if (first_word == "lvnet") kind = "netlist";
-    else if (first_word == "lvtech") kind = "tech";
-    else if (first_word == "lvact") kind = "activity";
-    else
-      throw chk::InputError(
-          chk::codes::cli_option,
-          "cannot tell what '" + path +
-              "' is (no lvnet/lvtech/lvact header); pass --kind");
-  }
-
-  chk::DiagSink sink;
-  if (kind == "netlist") {
-    chk::load_netlist_text(text, sink, path);
-  } else if (kind == "tech") {
-    chk::load_techfile_text(text, sink, path);
-  } else if (kind == "activity") {
-    const auto nl_path = args.text("--netlist");
-    if (!nl_path)
-      throw chk::InputError(chk::codes::cli_option,
-                            "check --kind activity needs --netlist <file>");
-    const auto nl = load_netlist(*nl_path);
-    chk::load_activity_text(nl, text, sink, path);
-  } else {
+  options.endpoint = endpoint_from(mine);
+  const long long deadline = mine.integer("--deadline-ms", 0);
+  if (deadline < 0)
     throw chk::InputError(chk::codes::cli_option,
-                          "unknown --kind '" + kind +
-                              "' (netlist|tech|activity)");
-  }
-
-  if (const auto out = args.text("--diag-json"))
-    write_file(*out, sink.to_json());
-  std::fputs(sink.to_text().c_str(), stdout);
-  const bool strict = args.options.count("--strict") != 0;
-  const bool fail = !sink.ok() || (strict && sink.warning_count() > 0);
-  std::printf("%s: %zu error(s), %zu warning(s)%s\n", path.c_str(),
-              sink.error_count(), sink.warning_count(),
-              fail ? "" : " — OK");
-  return fail ? 2 : 0;
-}
-
-int run_command(const std::string& cmd, const Args& args) {
-  if (cmd == "check") return cmd_check(args);
-  if (cmd == "gen") return cmd_gen(args);
-  if (cmd == "stats") return cmd_stats(args);
-  if (cmd == "simulate") return cmd_simulate(args);
-  if (cmd == "power") return cmd_power(args);
-  if (cmd == "timing") return cmd_timing(args);
-  if (cmd == "dualvt") return cmd_dualvt(args);
-  if (cmd == "optimize-vt") return cmd_optimize_vt(args);
-  if (cmd == "profile") return cmd_profile(args);
-  if (cmd == "techfile") return cmd_techfile(args);
-  if (cmd == "glitch") return cmd_glitch(args);
-  if (cmd == "faults") return cmd_faults(args);
-  if (cmd == "paths") return cmd_paths(args);
-  if (cmd == "sizing") return cmd_sizing(args);
-  if (cmd == "optimize") return cmd_optimize(args);
-  return -1;  // unknown command
+                          "--deadline-ms must be >= 0");
+  options.deadline_ms = static_cast<std::uint32_t>(deadline);
+  if (!options.shutdown && i >= argc)
+    throw chk::InputError(chk::codes::cli_option,
+                          "client needs a subcommand to forward");
+  return svc::run_client(options, argc, argv, i);
 }
 
 void usage() {
@@ -640,6 +146,11 @@ void usage() {
       "  paths <netlist> <tech> [--k N] [--vdd V]\n"
       "  sizing <netlist> <tech> [--margin M] [--min-size S]\n"
       "  optimize <netlist> [-o file]\n"
+      "  version                          # tool/protocol/kernel/build info\n"
+      "  serve  [--socket P | --port N] [--workers W] [--queue Q]\n"
+      "         [--max-payload B]         # long-lived lvrpc/1 server\n"
+      "  client [--socket P | --port N] [--deadline-ms D] [--verbose]\n"
+      "         (<subcommand> ... | --shutdown)\n"
       "tech = predefined name (soi_low_vt, soias, dual_vt_mtcmos,\n"
       "bulk_cmos_06um, bulk_body_bias) or a tech-file path.\n"
       "Every command accepts --threads N (default: LVSIM_THREADS or all\n"
@@ -661,7 +172,9 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
-    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "client") return cmd_client(argc, argv, 2);
+
+    const svc::Params args = svc::parse_params(argc, argv, 2);
     // Worker width for every sweep/campaign subcommand. Resolution:
     // --threads N > LVSIM_THREADS env > hardware concurrency; 1 runs the
     // serial code path (results are identical either way).
@@ -672,32 +185,29 @@ int main(int argc, char** argv) {
                               "--threads must be >= 0 (0 = default)");
       lv::exec::set_thread_count(static_cast<std::size_t>(n));
     }
-    // Run metrics: collection is compiled in but a no-op until a stats
-    // sink is requested, so plain runs pay one predicted branch per site.
-    const bool stats_text = args.options.count("--stats") != 0;
-    const auto stats_json = args.text("--stats-json");
-    if (stats_text || stats_json) lv::obs::set_enabled(true);
+    if (cmd == "serve") return cmd_serve(args);
 
-    int rc;
-    {
-      lv::obs::ScopedTimer whole_command{
-          lv::obs::Registry::global().timer("lvtool.command")};
-      rc = run_command(cmd, args);
-    }
-    if (rc < 0) {
+    if (svc::find_op(cmd) == nullptr) {
       // An unknown subcommand is bad input, same contract as a bad option.
       std::fprintf(stderr, "lvtool: error: [%s] unknown command '%s'\n",
                    chk::codes::cli_option, cmd.c_str());
       usage();
       return 2;
     }
-    if (stats_text || stats_json) {
-      const lv::obs::RunReport report = lv::obs::Registry::global().report();
-      if (stats_json) write_file(*stats_json, report.to_json());
-      if (stats_text) std::fputs(report.to_text().c_str(), stdout);
-    }
-    return rc;
-  } catch (const lv::check::InputError& e) {
+    svc::Session session{0};
+    svc::ServiceContext ctx{session};
+    svc::Request request;
+    request.op = cmd;
+    request.params = args;
+    const svc::Response response = svc::run_request(ctx, request);
+    // Materialize: artifacts first (a failed write aborts before any
+    // stdout), then the exact output bytes, then the exit code.
+    for (const auto& file : response.files)
+      write_file(file.path, file.content);
+    if (!response.err.empty()) std::fputs(response.err.c_str(), stderr);
+    if (!response.out.empty()) std::fputs(response.out.c_str(), stdout);
+    return response.exit_code;
+  } catch (const chk::InputError& e) {
     // Bad input (malformed file, unparseable option, missing path):
     // coded diagnostic, exit 2 — distinct from internal errors below.
     std::fprintf(stderr, "lvtool %s: %s\n", cmd.c_str(),
